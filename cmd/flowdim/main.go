@@ -1,0 +1,106 @@
+// Command flowdim dimensions the other two flow-control families the
+// thesis's Chapter 5 points at — local (per-node buffer limits) and
+// global (isarithmic permit pool) — on top of already-chosen end-to-end
+// windows:
+//
+//	flowdim -example canada2 -windows 4,4 -mode buffers -eps 0.01
+//	flowdim -example canada2 -mode isarithmic -max-permits 30
+//	flowdim -example canada2 -windows 3,3 -mode quantiles -eps 0.05
+//
+// Modes:
+//
+//	buffers    — per-node storage limits K_i from simulated occupancy
+//	             quantiles (P(occupancy > K) <= eps)
+//	isarithmic — permit pool size maximising simulated power
+//	quantiles  — per-channel queue-length quantiles from the exact
+//	             product-form marginals (analytic counterpart)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flowdim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flowdim", flag.ContinueOnError)
+	spec := fs.String("spec", "", "JSON network spec file")
+	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
+	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
+	windows := fs.String("windows", "", "end-to-end windows held fixed, e.g. 4,4")
+	mode := fs.String("mode", "buffers", "what to dimension: buffers, isarithmic, quantiles")
+	eps := fs.Float64("eps", 0.01, "target exceedance probability for buffers/quantiles")
+	maxPermits := fs.Int("max-permits", 40, "isarithmic search upper bound")
+	duration := fs.Float64("duration", 2000, "simulated seconds per evaluation")
+	warmup := fs.Float64("warmup", 200, "warmup seconds")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rateVec, err := cliutil.ParseRates(*rates)
+	if err != nil {
+		return err
+	}
+	n, err := cliutil.LoadNetwork(*spec, *example, rateVec)
+	if err != nil {
+		return err
+	}
+	wv, err := cliutil.ParseWindows(*windows)
+	if err != nil {
+		return err
+	}
+	simCfg := sim.Config{Duration: *duration, Warmup: *warmup, Seed: *seed, Windows: wv}
+
+	switch *mode {
+	case "buffers":
+		sizes, err := core.SizeBuffers(n, wv, *eps, simCfg)
+		if err != nil {
+			return err
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("Node buffer limits K_i with P(occupancy > K) <= %g", *eps),
+			Headers: []string{"Node", "K"},
+		}
+		for i, k := range sizes {
+			t.AddRow(n.Nodes[i].Name, fmt.Sprint(k))
+		}
+		_, err = t.WriteTo(os.Stdout)
+		return err
+	case "isarithmic":
+		res, err := core.DimensionIsarithmic(n, simCfg, *maxPermits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal permit pool: %d (simulated power %s, %d simulation runs)\n",
+			res.Permits, report.Float(res.Power, 1), res.Evaluations)
+		return nil
+	case "quantiles":
+		q, err := core.ChannelQueueQuantiles(n, wv, *eps)
+		if err != nil {
+			return err
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("Channel queue-length quantiles with P(N > k) <= %g (exact product form)", *eps),
+			Headers: []string{"Channel", "k"},
+		}
+		for l, k := range q {
+			t.AddRow(n.Channels[l].Name, fmt.Sprint(k))
+		}
+		_, err = t.WriteTo(os.Stdout)
+		return err
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunBuffers(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-windows", "3,3",
+		"-mode", "buffers", "-duration", "300", "-warmup", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIsarithmic(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-mode", "isarithmic",
+		"-max-permits", "20", "-duration", "200", "-warmup", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuantiles(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-windows", "3,3",
+		"-mode", "quantiles", "-eps", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-example", "canada2", "-mode", "astrology"},
+		{"-example", "canada2", "-mode", "buffers", "-eps", "2"},
+		{"-example", "canada2", "-windows", "xx"},
+		{"-example", "canada2", "-rates", "xx"},
+		{"-undefined"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command netsim runs the discrete-event simulator on a message-switched
+// network with end-to-end window flow control, optionally with local
+// (finite-buffer) and isarithmic (global-permit) control:
+//
+//	netsim -example canada2 -windows 4,4 -duration 5000 -warmup 500
+//	netsim -spec net.json -windows 0,0 -buffers 4 -source backlogged
+//	netsim -example canada4 -windows 1,1,1,4 -permits 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("netsim", flag.ContinueOnError)
+	spec := fs.String("spec", "", "JSON network spec file")
+	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
+	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
+	windows := fs.String("windows", "", "window vector, e.g. 4,4 (0 disables control for a class)")
+	duration := fs.Float64("duration", 5000, "simulated seconds")
+	warmup := fs.Float64("warmup", 500, "warmup seconds excluded from statistics")
+	seed := fs.Uint64("seed", 1, "random seed")
+	source := fs.String("source", "throttled", "source model: throttled, backlogged")
+	buffers := fs.Int("buffers", 0, "per-node buffer limit K (0 = infinite)")
+	permits := fs.Int("permits", 0, "isarithmic permit pool size (0 = disabled)")
+	correlated := fs.Bool("correlated-lengths", false, "carry each message's length across hops (break the independence assumption)")
+	lengthCV := fs.Float64("length-cv", 0, "message-length coefficient of variation (0 = exponential)")
+	burstiness := fs.Float64("burstiness", 0, "on-off source peak factor B (0 = Poisson)")
+	burstOn := fs.Float64("burst-on", 0, "mean on-period seconds when bursty (default 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rateVec, err := cliutil.ParseRates(*rates)
+	if err != nil {
+		return err
+	}
+	n, err := cliutil.LoadNetwork(*spec, *example, rateVec)
+	if err != nil {
+		return err
+	}
+	wv, err := cliutil.ParseWindows(*windows)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Windows:           wv,
+		Seed:              *seed,
+		Duration:          *duration,
+		Warmup:            *warmup,
+		CorrelatedLengths: *correlated,
+		GlobalPermits:     *permits,
+		LengthCV:          *lengthCV,
+		Burstiness:        *burstiness,
+		BurstOn:           *burstOn,
+	}
+	switch *source {
+	case "throttled":
+		cfg.Source = sim.SourceThrottled
+	case "backlogged":
+		cfg.Source = sim.SourceBacklogged
+	default:
+		return fmt.Errorf("unknown source model %q", *source)
+	}
+	if *buffers > 0 {
+		cfg.NodeBuffers = make([]int, len(n.Nodes))
+		for i := range cfg.NodeBuffers {
+			cfg.NodeBuffers[i] = *buffers
+		}
+	}
+	res, err := sim.Run(n, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network: %s, %s source, %.0f s simulated (%.0f s warmup), seed %d\n\n",
+		n.Name, cfg.Source, *duration, *warmup, *seed)
+	ct := &report.Table{
+		Title:   "Per-class results",
+		Headers: []string{"Class", "Offered", "Throughput", "Delay (s)", "±CI95", "In network", "Backlog"},
+	}
+	for r := range res.PerClass {
+		c := &res.PerClass[r]
+		ct.AddRow(n.Classes[r].Name,
+			report.Float(c.Offered, 2), report.Float(c.Throughput, 2),
+			report.Float(c.MeanDelay, 5), report.Float(c.DelayCI95, 5),
+			report.Float(c.MeanInNetwork, 3), report.Float(c.MeanBacklog, 2))
+	}
+	if _, err := ct.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	lt := &report.Table{
+		Title:   "Per-channel results",
+		Headers: []string{"Channel", "Utilisation", "Mean stored"},
+	}
+	for l := range res.ChannelUtilization {
+		lt.AddRow(n.Channels[l].Name,
+			report.Float(res.ChannelUtilization[l], 4),
+			report.Float(res.ChannelMeanQueue[l], 4))
+	}
+	if _, err := lt.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nnetwork throughput: %s msg/s, delay: %s s, power: %s\n",
+		report.Float(res.Throughput, 3), report.Float(res.Delay, 5), report.Float(res.Power, 1))
+	if res.Deadlocked {
+		fmt.Println("WARNING: the run ended in store-and-forward deadlock")
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunBasic(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "200", "-warmup", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithControls(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-windows", "0,0",
+		"-duration", "100", "-warmup", "10",
+		"-source", "backlogged", "-buffers", "4", "-permits", "6",
+		"-correlated-lengths"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-example", "canada2", "-source", "telepathic"},
+		{"-example", "canada2", "-windows", "x"},
+		{"-example", "canada2", "-duration", "-5"},
+		{"-nope"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

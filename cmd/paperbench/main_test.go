@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunIndividualSelections(t *testing.T) {
+	// The cheap selections run for real; 4.9/4.12/-all are covered by the
+	// root benchmarks and the experiments package tests.
+	for _, args := range [][]string{
+		{"-table", "4.7"},
+		{"-table", "4.8"},
+		{"-validate"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected nothing-selected error")
+	}
+	if err := run([]string{"-evaluator", "crystal"}); err == nil {
+		t.Error("expected evaluator error")
+	}
+	if err := run([]string{"-flagless"}); err == nil {
+		t.Error("expected flag error")
+	}
+}

@@ -1,0 +1,223 @@
+// Command qsolve solves the closed multichain queueing model of a
+// message-switched network at a fixed window setting, printing per-queue
+// statistics. It exposes all four solvers of the repository so their
+// outputs can be compared directly:
+//
+//	qsolve -example canada2 -windows 5,5 -solver exact
+//	qsolve -spec net.json -windows 3,3 -solver convolution
+//	qsolve -example canada4 -windows 4,4,3,1 -solver sigma
+//	qsolve -example tandem2 -windows 2 -solver ctmc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/convolution"
+	"repro/internal/markov"
+	"repro/internal/mva"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/qnet"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qsolve", flag.ContinueOnError)
+	spec := fs.String("spec", "", "JSON network spec file")
+	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
+	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
+	windows := fs.String("windows", "", "window vector, e.g. 5,5 (default: spec windows)")
+	solver := fs.String("solver", "exact", "solver: exact, convolution, ctmc, sigma, schweitzer, linearizer")
+	marginals := fs.Bool("marginals", false, "print per-queue length distributions (convolution solver)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rateVec, err := cliutil.ParseRates(*rates)
+	if err != nil {
+		return err
+	}
+	n, err := cliutil.LoadNetwork(*spec, *example, rateVec)
+	if err != nil {
+		return err
+	}
+	wv, err := cliutil.ParseWindows(*windows)
+	if err != nil {
+		return err
+	}
+	model, sources, err := n.ClosedModel(wv)
+	if err != nil {
+		return err
+	}
+
+	sol, label, err := solve(model, *solver)
+	if err != nil {
+		return err
+	}
+	metrics, err := power.FromSolution(model, sol, sources)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network: %s, solver: %s, windows: %s\n\n",
+		n.Name, label, report.Windows(model.Populations()))
+	t := &report.Table{
+		Title:   "Per-queue statistics",
+		Headers: []string{"Queue", "Utilisation", "Mean queue", "Mean time/visit (s)"},
+	}
+	util := sol.Utilization(model)
+	for i := 0; i < model.N(); i++ {
+		totalQ := sol.TotalQueueLen(i)
+		// Mean time per visit, averaged over visiting chains weighted by
+		// their visit throughput.
+		num, den := 0.0, 0.0
+		for r := 0; r < model.R(); r++ {
+			if model.Chains[r].Visits[i] > 0 {
+				w := sol.Throughput[r] * model.Chains[r].Visits[i]
+				num += w * sol.QueueTime.At(i, r)
+				den += w
+			}
+		}
+		meanTime := 0.0
+		if den > 0 {
+			meanTime = num / den
+		}
+		t.AddRow(model.Stations[i].Name,
+			report.Float(util[i], 4), report.Float(totalQ, 4), report.Float(meanTime, 5))
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	ct := &report.Table{
+		Title:   "Per-class performance",
+		Headers: []string{"Class", "Window", "Throughput (msg/s)", "Network delay (s)"},
+	}
+	for r := range n.Classes {
+		ct.AddRow(n.Classes[r].Name, fmt.Sprint(model.Chains[r].Population),
+			report.Float(metrics.ClassThroughput[r], 3),
+			report.Float(metrics.ClassDelay[r], 5))
+	}
+	if _, err := ct.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nnetwork throughput: %s msg/s, delay: %s s, power: %s\n",
+		report.Float(metrics.Throughput, 3),
+		report.Float(metrics.Delay, 5),
+		report.Float(metrics.Power, 1))
+	if *marginals {
+		fmt.Println()
+		if err := printMarginals(model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printMarginals renders each station's exact queue-length distribution
+// (Table 3.7's p(h) made concrete) from the convolution solution.
+func printMarginals(model *qnet.Network) error {
+	c, err := convolution.Solve(model)
+	if err != nil {
+		return fmt.Errorf("marginals need the convolution solver: %w", err)
+	}
+	maxLen := 0
+	for _, m := range c.Marginal {
+		if len(m) > maxLen {
+			maxLen = len(m)
+		}
+	}
+	headers := []string{"Queue"}
+	for k := 0; k < maxLen; k++ {
+		headers = append(headers, fmt.Sprintf("P(N=%d)", k))
+	}
+	t := &report.Table{Title: "Exact queue-length distributions", Headers: headers}
+	for i := 0; i < model.N(); i++ {
+		cells := []string{model.Stations[i].Name}
+		for k := 0; k < maxLen; k++ {
+			if k < len(c.Marginal[i]) {
+				cells = append(cells, report.Float(c.Marginal[i][k], 4))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	_, err = t.WriteTo(os.Stdout)
+	return err
+}
+
+// solve runs the selected solver, adapting every output to the mva
+// Solution shape so the reporting code is shared.
+func solve(model *qnet.Network, name string) (*mva.Solution, string, error) {
+	switch name {
+	case "exact":
+		sol, err := mva.ExactMultichain(model)
+		return sol, "exact multichain MVA", err
+	case "sigma":
+		sol, err := mva.Approximate(model, mva.Options{Method: mva.SigmaHeuristic})
+		return sol, "sigma-heuristic AMVA", err
+	case "schweitzer":
+		sol, err := mva.Approximate(model, mva.Options{Method: mva.Schweitzer})
+		return sol, "Schweitzer AMVA", err
+	case "linearizer":
+		sol, err := mva.Linearizer(model, mva.Options{})
+		return sol, "Linearizer AMVA", err
+	case "convolution":
+		c, err := convolution.Solve(model)
+		if err != nil {
+			return nil, "", err
+		}
+		return adaptConvolution(model, c), "convolution (exact product form)", nil
+	case "ctmc":
+		m, err := markov.Solve(model)
+		if err != nil {
+			return nil, "", err
+		}
+		return adaptCTMC(model, m), fmt.Sprintf("CTMC balance equations (%d states)", m.States), nil
+	default:
+		return nil, "", fmt.Errorf("unknown solver %q", name)
+	}
+}
+
+func adaptConvolution(model *qnet.Network, c *convolution.Solution) *mva.Solution {
+	sol := &mva.Solution{
+		Throughput: c.Throughput,
+		QueueLen:   c.QueueLen,
+		QueueTime:  numeric.NewMatrix(model.N(), model.R()),
+	}
+	fillQueueTimes(model, sol)
+	return sol
+}
+
+func adaptCTMC(model *qnet.Network, m *markov.Solution) *mva.Solution {
+	sol := &mva.Solution{
+		Throughput: m.Throughput,
+		QueueLen:   m.QueueLen,
+		QueueTime:  numeric.NewMatrix(model.N(), model.R()),
+	}
+	fillQueueTimes(model, sol)
+	return sol
+}
+
+// fillQueueTimes derives per-visit queue times from queue lengths by
+// Little's law: t_ir = N_ir / (lambda_r V_ir).
+func fillQueueTimes(model *qnet.Network, sol *mva.Solution) {
+	for i := 0; i < model.N(); i++ {
+		for r := 0; r < model.R(); r++ {
+			v := model.Chains[r].Visits[i]
+			if v > 0 && sol.Throughput[r] > 0 {
+				sol.QueueTime.Set(i, r, sol.QueueLen.At(i, r)/(sol.Throughput[r]*v))
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunSolvers(t *testing.T) {
+	for _, solver := range []string{"exact", "convolution", "sigma", "schweitzer"} {
+		if err := run([]string{"-example", "canada2", "-windows", "3,3", "-solver", solver}); err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+	}
+	// The CTMC is exponential; exercise it on a small tandem only.
+	if err := run([]string{"-example", "tandem2", "-windows", "3", "-solver", "ctmc"}); err != nil {
+		t.Fatalf("ctmc: %v", err)
+	}
+	if err := run([]string{"-example", "tandem2", "-windows", "3", "-marginals"}); err != nil {
+		t.Fatalf("marginals: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-example", "canada2", "-solver", "ouija"},
+		{"-example", "canada2", "-windows", "oops"},
+		{"-example", "canada2", "-windows", "1,2,3"}, // wrong length
+		{"-example", "canada2", "-rates", "zz"},
+		{"-what"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

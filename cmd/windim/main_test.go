@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestRunHappyPath(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-rates", "20,20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactExhaustive(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-evaluator", "exact",
+		"-search", "exhaustive", "-max-window", "6", "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchweitzerWithStart(t *testing.T) {
+	if err := run([]string{"-example", "canada4", "-evaluator", "schweitzer",
+		"-start", "2,2,2,2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-sweep", "0.8,1.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-example", "canada2", "-sweep", "x"}); err == nil {
+		t.Error("expected sweep parse error")
+	}
+	if err := run([]string{"-example", "canada2", "-sweep", "-1"}); err == nil {
+		t.Error("expected positive-scale error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                   // no network
+		{"-example", "nope"}, // unknown example
+		{"-example", "canada2", "-evaluator", "psychic"},
+		{"-example", "canada2", "-search", "random"},
+		{"-example", "canada2", "-rates", "1"},     // wrong rate count
+		{"-example", "canada2", "-start", "1,2,3"}, // wrong start length
+		{"-example", "canada2", "-start", "a,b"},   // bad start syntax
+		{"-bogus-flag"},                            // flag error
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

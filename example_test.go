@@ -1,0 +1,81 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Dimension the thesis's 2-class example network at a symmetric load and
+// print the power-optimal windows.
+func ExampleDimension() {
+	network := repro.Canada2Class(20, 20)
+	res, err := repro.Dimension(network, repro.DimensionOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("windows:", res.Windows)
+	// Output:
+	// windows: (4,4)
+}
+
+// Evaluate the Kleinrock hop-count rule on the 4-class network and
+// compare with WINDIM — the Table 4.12 story in four lines.
+func ExampleEvaluate() {
+	network := repro.Canada4Class(20, 20, 20, 40)
+	hop, err := repro.Evaluate(network, repro.KleinrockWindows(network), repro.DimensionOptions{})
+	if err != nil {
+		panic(err)
+	}
+	opt, err := repro.Dimension(network, repro.DimensionOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hop rule %v beats WINDIM %v: %v\n",
+		repro.KleinrockWindows(network), opt.Windows, hop.Power > opt.Metrics.Power)
+	// Output:
+	// hop rule (4,4,3,1) beats WINDIM (1,1,1,2): false
+}
+
+// Simulate a dimensioned network and check the analytic model's power
+// prediction against measurement.
+func ExampleSimulate() {
+	network := repro.Canada2Class(20, 20)
+	res, err := repro.Dimension(network, repro.DimensionOptions{})
+	if err != nil {
+		panic(err)
+	}
+	sim, err := repro.Simulate(network, repro.SimConfig{
+		Windows: res.Windows, Duration: 5000, Warmup: 500, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rel := (sim.Power - res.Metrics.Power) / res.Metrics.Power
+	fmt.Printf("simulation within 5%% of the model: %v\n", rel < 0.05 && rel > -0.05)
+	// Output:
+	// simulation within 5% of the model: true
+}
+
+// Parse a network from its JSON wire form.
+func ExampleParseSpec() {
+	spec := `{
+	  "name": "two-hop",
+	  "nodes": ["a", "b", "c"],
+	  "channels": [
+	    {"name": "ab", "from": "a", "to": "b", "capacity_bps": 50000},
+	    {"name": "bc", "from": "b", "to": "c", "capacity_bps": 50000}
+	  ],
+	  "classes": [
+	    {"name": "vc1", "rate_msg_per_sec": 20, "mean_length_bits": 1000,
+	     "route": ["ab", "bc"], "window": 2}
+	  ]
+	}`
+	network, err := repro.ParseSpec([]byte(spec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(network.Name, "hops:", network.Hops(0))
+	// Output:
+	// two-hop hops: 2
+}

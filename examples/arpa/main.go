@@ -1,0 +1,82 @@
+// Larger networks (Chapter 5): WINDIM on a 10-node ARPANET-style mesh
+// with six interacting virtual channels, where exact analysis of every
+// search candidate is already infeasible, plus dimensioning of the other
+// two flow-control families on top of the chosen windows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	network, err := topo.Arpa(nil) // six classes at 8 msg/s each
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s — %d nodes, %d channels, %d virtual channels\n",
+		network.Name, len(network.Nodes), len(network.Channels), len(network.Classes))
+	for r, c := range network.Classes {
+		fmt.Printf("  %-16s %d hops\n", c.Name, network.Hops(r))
+	}
+
+	// End-to-end windows first.
+	res, err := repro.Dimension(network, repro.DimensionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hop := repro.KleinrockWindows(network)
+	base, err := repro.Evaluate(network, hop, repro.DimensionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWINDIM windows  : %v  (power %.0f, %d evaluations)\n",
+		res.Windows, res.Metrics.Power, res.Search.Evaluations)
+	fmt.Printf("hop-count rule  : %v  (power %.0f)\n", hop, base.Power)
+
+	// Then local flow control: size each node's store from open-loop
+	// occupancy quantiles — and observe the §2.3 interplay: quantiles
+	// measured WITHOUT blocking underestimate what blocking feedback
+	// needs, so the exceedance target must be tightened until the
+	// closed-loop simulation recovers the unconstrained power.
+	fmt.Printf("\nbuffer sizing at the chosen windows (closed-loop check):\n")
+	fmt.Printf("eps        node buffers K_i                 simulated power\n")
+	for _, eps := range []float64{1e-2, 1e-4} {
+		sizes, err := core.SizeBuffers(network, res.Windows, eps, sim.Config{
+			Duration: 4000, Warmup: 400, Seed: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simRes, err := repro.Simulate(network, repro.SimConfig{
+			Windows:     res.Windows,
+			NodeBuffers: sizes,
+			Duration:    4000,
+			Warmup:      400,
+			Seed:        5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ks := ""
+		for i, k := range sizes {
+			if i > 0 {
+				ks += " "
+			}
+			ks += fmt.Sprint(k)
+		}
+		fmt.Printf("%-8g   %-30s   %.0f (deadlocked: %v)\n", eps, ks, simRes.Power, simRes.Deadlocked)
+	}
+	fmt.Printf("analytic power with infinite buffers: %.0f\n", res.Metrics.Power)
+	fmt.Println()
+	fmt.Println("The 1% quantiles lose ~30% of the power: a stalled channel holds")
+	fmt.Println("its message and the stall cascades (the thesis's warning that")
+	fmt.Println("windows exceeding buffer capacity make end-to-end control")
+	fmt.Println("ineffective). Tightened to 0.01%, the sized buffers match the")
+	fmt.Println("infinite-buffer power — local and end-to-end control now agree.")
+}

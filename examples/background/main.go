@@ -1,0 +1,41 @@
+// Mixed networks (Chapter 3 §3.3.3): dimensioning windows when channels
+// also carry uncontrolled cross-traffic. The analytic model folds the
+// background load into the capacity function (equivalently, inflates the
+// controlled classes' service times); the simulator injects the
+// cross-traffic explicitly — both agree, and the optimal windows shrink
+// as the background load eats the shared channel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/topo"
+)
+
+func main() {
+	fmt.Println("2-class Canadian network at S1=S2=20; background load on the shared WT channel")
+	fmt.Println()
+	fmt.Println("background   E_opt   analytic power   simulated power")
+	for _, bg := range []float64{0, 0.2, 0.4, 0.6} {
+		network := repro.Canada2Class(20, 20)
+		network.Channels[topo.ChWT].Background = bg
+		res, err := repro.Dimension(network, repro.DimensionOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simRes, err := repro.Simulate(network, repro.SimConfig{
+			Windows: res.Windows, Duration: 4000, Warmup: 400, Seed: 13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f%%   %-6v  %14.1f   %15.1f\n",
+			bg*100, res.Windows, res.Metrics.Power, simRes.Power)
+	}
+	fmt.Println()
+	fmt.Println("Background traffic on the one channel both classes share steals its")
+	fmt.Println("capacity: attainable power falls and tighter windows become optimal,")
+	fmt.Println("exactly as heavier first-party load does in Table 4.7.")
+}

@@ -1,0 +1,48 @@
+// Model validation: the discrete-event simulator against the analytic
+// solvers across window settings, plus the effect of breaking the
+// independence assumption (correlated message lengths across hops), which
+// the product-form model cannot capture.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const s = 20.0
+	fmt.Println("2-class Canadian network at S1=S2=20 msg/s")
+	fmt.Println()
+	fmt.Println("windows   exact-MVA power   simulated power   sim (correlated lengths)")
+	for _, e := range []int{1, 2, 3, 4, 5, 6} {
+		w := repro.WindowVector{e, e}
+		network := repro.Canada2Class(s, s)
+		analytic, err := repro.Evaluate(network, w, repro.DimensionOptions{
+			Evaluator: repro.EvalExactMVA,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		faithful, err := repro.Simulate(network, repro.SimConfig{
+			Windows: w, Duration: 4000, Warmup: 400, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		correlated, err := repro.Simulate(network, repro.SimConfig{
+			Windows: w, Duration: 4000, Warmup: 400, Seed: 11,
+			CorrelatedLengths: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(%d,%d)     %15.1f   %15.1f   %24.1f\n",
+			e, e, analytic.Power, faithful.Power, correlated.Power)
+	}
+	fmt.Println()
+	fmt.Println("The model-faithful simulation tracks exact MVA closely; keeping")
+	fmt.Println("message lengths across hops (as a real network does) shifts the")
+	fmt.Println("numbers — the cost of Kleinrock's independence assumption.")
+}

@@ -1,0 +1,112 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: network loading (from a JSON spec file or a named built-in
+// example) and flag parsing for window vectors.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+// LoadNetwork returns the network named by either specPath (a JSON file)
+// or example (a built-in name: "canada2", "canada4", "tandem<N>"). rates
+// optionally overrides the classes' arrival rates.
+func LoadNetwork(specPath, example string, rates []float64) (*netmodel.Network, error) {
+	var n *netmodel.Network
+	switch {
+	case specPath != "" && example != "":
+		return nil, fmt.Errorf("cliutil: -spec and -example are mutually exclusive")
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: reading spec: %w", err)
+		}
+		n, err = netmodel.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+	case example != "":
+		var err error
+		n, err = builtin(example)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cliutil: provide -spec FILE or -example NAME (canada2, canada4, tandem4, ...)")
+	}
+	if rates != nil {
+		if len(rates) != len(n.Classes) {
+			return nil, fmt.Errorf("cliutil: %d rates for %d classes", len(rates), len(n.Classes))
+		}
+		for r := range n.Classes {
+			n.Classes[r].Rate = rates[r]
+		}
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func builtin(name string) (*netmodel.Network, error) {
+	switch {
+	case name == "canada2":
+		return topo.Canada2Class(20, 20), nil
+	case name == "canada4":
+		return topo.Canada4Class(6, 6, 6, 12), nil
+	case strings.HasPrefix(name, "tandem"):
+		hops, err := strconv.Atoi(strings.TrimPrefix(name, "tandem"))
+		if err != nil || hops < 1 {
+			return nil, fmt.Errorf("cliutil: bad tandem example %q (use tandem1..tandem16)", name)
+		}
+		if hops > 16 {
+			return nil, fmt.Errorf("cliutil: tandem example limited to 16 hops, got %d", hops)
+		}
+		return topo.Tandem(hops, 50000, 20, 1000)
+	default:
+		return nil, fmt.Errorf("cliutil: unknown example %q (canada2, canada4, tandemN)", name)
+	}
+}
+
+// ParseWindows parses a comma-separated window vector like "5,5" or
+// "1,1,1,4". An empty string returns nil (meaning: use the network's own
+// windows).
+func ParseWindows(s string) (numeric.IntVector, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	v := numeric.NewIntVector(len(parts))
+	for i, p := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad window %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// ParseRates parses a comma-separated rate vector like "20,20"; empty
+// returns nil.
+func ParseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	v := make([]float64, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad rate %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}

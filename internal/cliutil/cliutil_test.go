@@ -1,0 +1,109 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadNetworkExamples(t *testing.T) {
+	for name, classes := range map[string]int{"canada2": 2, "canada4": 4, "tandem3": 1} {
+		n, err := LoadNetwork("", name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(n.Classes) != classes {
+			t.Errorf("%s: %d classes", name, len(n.Classes))
+		}
+	}
+}
+
+func TestLoadNetworkErrors(t *testing.T) {
+	if _, err := LoadNetwork("", "", nil); err == nil {
+		t.Error("expected error with neither spec nor example")
+	}
+	if _, err := LoadNetwork("x.json", "canada2", nil); err == nil {
+		t.Error("expected mutual-exclusion error")
+	}
+	if _, err := LoadNetwork("", "mystery", nil); err == nil {
+		t.Error("expected unknown-example error")
+	}
+	if _, err := LoadNetwork("", "tandemXL", nil); err == nil {
+		t.Error("expected bad tandem error")
+	}
+	if _, err := LoadNetwork("", "tandem99", nil); err == nil {
+		t.Error("expected tandem cap error")
+	}
+	if _, err := LoadNetwork("/nonexistent/spec.json", "", nil); err == nil {
+		t.Error("expected file error")
+	}
+}
+
+func TestLoadNetworkRateOverride(t *testing.T) {
+	n, err := LoadNetwork("", "canada2", []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Classes[0].Rate != 5 || n.Classes[1].Rate != 7 {
+		t.Errorf("rates = %v, %v", n.Classes[0].Rate, n.Classes[1].Rate)
+	}
+	if _, err := LoadNetwork("", "canada2", []float64{5}); err == nil {
+		t.Error("expected rate-count error")
+	}
+	if _, err := LoadNetwork("", "canada2", []float64{5, -1}); err == nil {
+		t.Error("expected invalid-rate error")
+	}
+}
+
+func TestLoadNetworkFromSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	spec := `{
+	  "name": "mini",
+	  "nodes": ["a", "b"],
+	  "channels": [{"name": "ab", "from": "a", "to": "b", "capacity_bps": 1000}],
+	  "classes": [{"name": "c", "rate_msg_per_sec": 1, "mean_length_bits": 100, "route": ["ab"], "window": 2}]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := LoadNetwork(path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "mini" || n.Classes[0].Window != 2 {
+		t.Errorf("loaded %+v", n)
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	v, err := ParseWindows("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[0] != 1 || v[2] != 3 {
+		t.Errorf("v = %v", v)
+	}
+	if got, err := ParseWindows(""); got != nil || err != nil {
+		t.Error("empty string should give nil, nil")
+	}
+	if _, err := ParseWindows("1,x"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	v, err := ParseRates("1.5,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 || v[0] != 1.5 {
+		t.Errorf("v = %v", v)
+	}
+	if got, err := ParseRates(""); got != nil || err != nil {
+		t.Error("empty string should give nil, nil")
+	}
+	if _, err := ParseRates("a"); err == nil {
+		t.Error("expected parse error")
+	}
+}

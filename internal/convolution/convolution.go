@@ -1,0 +1,337 @@
+// Package convolution implements the exact product-form solution of
+// closed multichain queueing networks by the convolution algorithm
+// (Buzen 1973 for single chains; Reiser–Kobayashi 1975 for multiple
+// chains), following Chapter 3 of the thesis (eqs. 3.25–3.37 and
+// Tables 3.6–3.9).
+//
+// The normalisation constant g(H) is the N-fold convolution of the
+// per-station capacity-function inverses over the population lattice
+// 0 <= i <= H. Fixed-rate stations use the O(W) in-place recursion
+// (eq. 3.30); infinite-server and queue-dependent stations use a direct
+// truncated convolution with the capacity coefficients of eq. 3.27.
+//
+// Cost is Theta(prod_w (H_w+1)) space and a small multiple of that in
+// time — exactly the exponential blow-up that motivates the thesis's
+// approximate MVA. The solver is therefore the *reference oracle* of this
+// repository (tests verify MVA and the simulator against it on small
+// populations), not the production evaluator.
+package convolution
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// Solution is the exact steady-state solution of a closed multichain
+// network.
+type Solution struct {
+	// G is the normalisation constant at the full population vector,
+	// under the internal per-chain demand scaling (its absolute value is
+	// implementation-defined; ratios of g values are what carry meaning).
+	G float64
+	// Throughput[w] is chain w's throughput in customers/second per unit
+	// visit ratio: the throughput observed at station i is
+	// Visits[w][i] * Throughput[w].
+	Throughput numeric.Vector
+	// QueueLen.At(i, w) is the mean number of chain-w customers at
+	// station i.
+	QueueLen *numeric.Matrix
+	// Utilization[i] is the probability that station i is non-empty
+	// (for IS stations: the mean number in service).
+	Utilization numeric.Vector
+	// Marginal[i][k] is the probability that station i holds exactly k
+	// customers (all chains combined), k = 0..H_total.
+	Marginal [][]float64
+}
+
+// LatticeBudget caps the population lattice size Solve will attempt. The
+// exact algorithms are exponential in the number of chains; beyond this
+// many lattice points the caller should use MVA approximations instead.
+const LatticeBudget = 1 << 24
+
+// Solve computes the exact solution of the closed multichain network.
+// It returns an error if the network is invalid or the population lattice
+// exceeds LatticeBudget.
+func Solve(net *qnet.Network) (*Solution, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	net = net.EffectiveClosed()
+	s, err := newSolver(net)
+	if err != nil {
+		return nil, err
+	}
+	return s.solve()
+}
+
+type solver struct {
+	net         *qnet.Network
+	h           numeric.IntVector // full population vector (lattice bound)
+	size        int
+	w           int             // number of chains
+	n           int             // number of stations
+	rho         *numeric.Matrix // scaled demands rho[station][chain]
+	beta        numeric.Vector  // per-chain demand scaling: rho = beta * trueDemand
+	strideCache []int           // mixed-radix strides for e_w steps
+}
+
+func newSolver(net *qnet.Network) (*solver, error) {
+	h := net.Populations()
+	size, err := numeric.LatticeSize(h, LatticeBudget)
+	if err != nil {
+		return nil, fmt.Errorf("convolution: %w", err)
+	}
+	s := &solver{net: net, h: h, size: size, w: net.R(), n: net.N()}
+	// Per-chain scaling keeps rho^H near unity for numerical range.
+	s.beta = numeric.NewVector(s.w)
+	s.rho = numeric.NewMatrix(s.n, s.w)
+	for w := 0; w < s.w; w++ {
+		maxD := 0.0
+		for i := 0; i < s.n; i++ {
+			if d := net.Chains[w].Demand(i); d > maxD {
+				maxD = d
+			}
+		}
+		if maxD == 0 {
+			maxD = 1
+		}
+		s.beta[w] = 1 / maxD
+		for i := 0; i < s.n; i++ {
+			s.rho.Set(i, w, net.Chains[w].Demand(i)*s.beta[w])
+		}
+	}
+	// Stride of chain w in the lattice index.
+	s.strideCache = make([]int, s.w)
+	stride := 1
+	for w := s.w - 1; w >= 0; w-- {
+		s.strideCache[w] = stride
+		stride *= h[w] + 1
+	}
+	return s, nil
+}
+
+// identity returns the unit of convolution: g(0) = 1.
+func (s *solver) identity() []float64 {
+	g := make([]float64, s.size)
+	g[0] = 1
+	return g
+}
+
+// convolveStation returns the convolution of g with station i's capacity
+// inverse, truncated to the lattice.
+func (s *solver) convolveStation(i int, g []float64) []float64 {
+	st := &s.net.Stations[i]
+	if st.Kind != qnet.IS && !st.IsQueueDependent() {
+		return s.convolveFixedRate(i, g)
+	}
+	return s.convolveGeneral(i, g)
+}
+
+// convolveFixedRate applies eq. 3.30 in place on a copy:
+// g'(i) = g(i) + sum_w rho_nw * g'(i - e_w).
+func (s *solver) convolveFixedRate(n int, g []float64) []float64 {
+	out := make([]float64, s.size)
+	copy(out, g)
+	idx := 0
+	numeric.LatticeWalk(s.h, func(p numeric.IntVector) {
+		acc := out[idx]
+		for w := 0; w < s.w; w++ {
+			if p[w] > 0 {
+				if r := s.rho.At(n, w); r != 0 {
+					acc += r * out[idx-s.strideCache[w]]
+				}
+			}
+		}
+		out[idx] = acc
+		idx++
+	})
+	return out
+}
+
+// capacityCoefficients returns c_n(j) for all lattice points j
+// (eq. 3.27): c_n(j) = a_n(|j|) * |j|! * prod_w rho_nw^{j_w} / j_w!,
+// with a_n(k) = 1 / prod_{l=1..k} RateFactor(l).
+func (s *solver) capacityCoefficients(n int) []float64 {
+	st := &s.net.Stations[n]
+	maxTotal := s.h.Sum()
+	a := make([]float64, maxTotal+1)
+	a[0] = 1
+	for k := 1; k <= maxTotal; k++ {
+		a[k] = a[k-1] / st.RateFactor(k)
+	}
+	fact := make([]float64, maxTotal+1)
+	fact[0] = 1
+	for k := 1; k <= maxTotal; k++ {
+		fact[k] = fact[k-1] * float64(k)
+	}
+	c := make([]float64, s.size)
+	idx := 0
+	numeric.LatticeWalk(s.h, func(p numeric.IntVector) {
+		total := 0
+		prod := 1.0
+		for w := 0; w < s.w; w++ {
+			jw := p[w]
+			total += jw
+			if jw > 0 {
+				r := s.rho.At(n, w)
+				prod *= math.Pow(r, float64(jw)) / fact[jw]
+			}
+		}
+		c[idx] = a[total] * fact[total] * prod
+		idx++
+	})
+	return c
+}
+
+// convolveGeneral performs the direct truncated convolution out = c_n * g.
+func (s *solver) convolveGeneral(n int, g []float64) []float64 {
+	c := s.capacityCoefficients(n)
+	out := make([]float64, s.size)
+	// out(p) = sum_{0<=j<=p} c(j) g(p-j). Enumerate p, then j <= p.
+	p := numeric.NewIntVector(s.w)
+	numeric.LatticeWalk(s.h, func(pp numeric.IntVector) {
+		copy(p, pp)
+		pIdx := numeric.LatticeIndex(p, s.h)
+		acc := 0.0
+		// Walk sub-lattice j <= p.
+		numeric.LatticeWalk(p, func(j numeric.IntVector) {
+			jIdx := numeric.LatticeIndex(j, s.h)
+			if cj := c[jIdx]; cj != 0 {
+				// index of p - j
+				diffIdx := 0
+				for w := 0; w < s.w; w++ {
+					diffIdx = diffIdx*(s.h[w]+1) + (p[w] - j[w])
+				}
+				acc += cj * g[diffIdx]
+			}
+		})
+		out[pIdx] = acc
+	})
+	return out
+}
+
+// convolveAllExcept returns the convolution of all stations except skip
+// (the g_(n-) array of eq. 3.24a), or of all stations when skip < 0.
+func (s *solver) convolveAllExcept(skip int) []float64 {
+	g := s.identity()
+	for i := 0; i < s.n; i++ {
+		if i == skip {
+			continue
+		}
+		g = s.convolveStation(i, g)
+	}
+	return g
+}
+
+func (s *solver) solve() (*Solution, error) {
+	g := s.convolveAllExcept(-1)
+	topIdx := numeric.LatticeIndex(s.h, s.h)
+	gH := g[topIdx]
+	if gH <= 0 || math.IsNaN(gH) || math.IsInf(gH, 0) {
+		return nil, fmt.Errorf("convolution: degenerate normalisation constant %v", gH)
+	}
+	sol := &Solution{
+		G:           gH,
+		Throughput:  numeric.NewVector(s.w),
+		QueueLen:    numeric.NewMatrix(s.n, s.w),
+		Utilization: numeric.NewVector(s.n),
+		Marginal:    make([][]float64, s.n),
+	}
+	// Chain throughputs: lambda_w = beta_w * g(H - e_w) / g(H).
+	for w := 0; w < s.w; w++ {
+		if s.h[w] == 0 {
+			continue
+		}
+		sol.Throughput[w] = s.beta[w] * g[topIdx-s.strideCache[w]] / gH
+	}
+	// Queue lengths and marginals.
+	for i := 0; i < s.n; i++ {
+		st := &s.net.Stations[i]
+		switch {
+		case st.Kind == qnet.IS:
+			// q_iw = rho_iw * lambda_w (in true units: demand * throughput).
+			for w := 0; w < s.w; w++ {
+				sol.QueueLen.Set(i, w, s.net.Chains[w].Demand(i)*sol.Throughput[w])
+			}
+		case !st.IsQueueDependent():
+			// Fixed rate: q_iw = rho_iw * g_(i+)(H - e_w) / g(H), where
+			// g_(i+) convolves station i a second time (eq. 3.36).
+			gPlus := s.convolveFixedRate(i, g)
+			for w := 0; w < s.w; w++ {
+				if s.h[w] == 0 {
+					continue
+				}
+				q := s.rho.At(i, w) * gPlus[topIdx-s.strideCache[w]] / gH
+				sol.QueueLen.Set(i, w, q)
+			}
+		default:
+			// Queue-dependent: use the marginal distribution over the
+			// per-chain occupancy vector at station i.
+			s.queueDependentQueueLens(i, sol, gH)
+		}
+	}
+	// Marginal distribution of the total count at each station, via
+	// g_(i-) and the station's capacity coefficients:
+	// P(station i holds vector j) = c_i(j) g_(i-)(H - j) / g(H).
+	for i := 0; i < s.n; i++ {
+		s.marginals(i, sol, gH)
+	}
+	return sol, nil
+}
+
+// queueDependentQueueLens fills QueueLen for queue-dependent station i
+// from the per-vector marginal probabilities.
+func (s *solver) queueDependentQueueLens(i int, sol *Solution, gH float64) {
+	gMinus := s.convolveAllExcept(i)
+	c := s.capacityCoefficients(i)
+	numeric.LatticeWalk(s.h, func(j numeric.IntVector) {
+		jIdx := numeric.LatticeIndex(j, s.h)
+		if c[jIdx] == 0 {
+			return
+		}
+		compIdx := 0
+		for w := 0; w < s.w; w++ {
+			compIdx = compIdx*(s.h[w]+1) + (s.h[w] - j[w])
+		}
+		p := c[jIdx] * gMinus[compIdx] / gH
+		for w := 0; w < s.w; w++ {
+			if j[w] > 0 {
+				sol.QueueLen.Set(i, w, sol.QueueLen.At(i, w)+float64(j[w])*p)
+			}
+		}
+	})
+}
+
+// marginals fills Marginal[i] and Utilization[i].
+func (s *solver) marginals(i int, sol *Solution, gH float64) {
+	gMinus := s.convolveAllExcept(i)
+	c := s.capacityCoefficients(i)
+	total := s.h.Sum()
+	marg := make([]float64, total+1)
+	numeric.LatticeWalk(s.h, func(j numeric.IntVector) {
+		jIdx := numeric.LatticeIndex(j, s.h)
+		if c[jIdx] == 0 {
+			return
+		}
+		compIdx := 0
+		k := 0
+		for w := 0; w < s.w; w++ {
+			compIdx = compIdx*(s.h[w]+1) + (s.h[w] - j[w])
+			k += j[w]
+		}
+		marg[k] += c[jIdx] * gMinus[compIdx] / gH
+	})
+	sol.Marginal[i] = marg
+	if s.net.Stations[i].Kind == qnet.IS {
+		mean := 0.0
+		for k, p := range marg {
+			mean += float64(k) * p
+		}
+		sol.Utilization[i] = mean
+	} else {
+		sol.Utilization[i] = 1 - marg[0]
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+func TestDimensionWithBufferLimits(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	// Unconstrained optimum is (4,4). Winnipeg and Toronto are transit
+	// nodes for both classes; capping them at 4 forces E1+E2 <= 4.
+	limits := make([]int, 6)
+	limits[2] = 4 // Winnipeg
+	limits[3] = 4 // Toronto
+	res, err := Dimension(n, Options{BufferLimits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows[0]+res.Windows[1] > 4 {
+		t.Errorf("windows %v violate the buffer constraint", res.Windows)
+	}
+	free, err := Dimension(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Power > free.Metrics.Power {
+		t.Errorf("constrained power %v exceeds unconstrained %v", res.Metrics.Power, free.Metrics.Power)
+	}
+	if res.Metrics.Power <= 0 {
+		t.Errorf("constrained power %v", res.Metrics.Power)
+	}
+}
+
+func TestDimensionBufferLimitsWorstCaseSemantics(t *testing.T) {
+	// Sinks never store: a cap on Ottawa (class 1's sink, unused
+	// otherwise) must not constrain anything.
+	n := topo.Canada2Class(20, 20)
+	limits := make([]int, 6)
+	limits[5] = 1 // Ottawa
+	res, err := Dimension(n, Options{BufferLimits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Dimension(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Windows.Equal(free.Windows) {
+		t.Errorf("sink cap changed the answer: %v vs %v", res.Windows, free.Windows)
+	}
+}
+
+func TestDimensionBufferLimitsInfeasible(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	limits := make([]int, 6)
+	limits[2] = 1 // Winnipeg carries both classes: needs >= 2
+	if _, err := Dimension(n, Options{BufferLimits: limits}); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if _, err := Dimension(n, Options{BufferLimits: []int{1}}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDimensionBufferLimitsInfeasibleStartRecovers(t *testing.T) {
+	// Hop-count start (4,4) violates a total cap of 3 at Winnipeg; the
+	// search must recover from the all-ones start.
+	n := topo.Canada2Class(20, 20)
+	limits := make([]int, 6)
+	limits[2] = 3
+	res, err := Dimension(n, Options{BufferLimits: limits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows[0]+res.Windows[1] > 3 {
+		t.Errorf("windows %v violate cap 3", res.Windows)
+	}
+	// It should use the full budget (1,2) or (2,1) rather than (1,1).
+	if res.Windows.Sum() < 3 {
+		m11, err := Evaluate(n, numeric.IntVector{1, 1}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.Power < m11.Power {
+			t.Errorf("constrained search under-uses the budget: %v", res.Windows)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+// Extensions beyond the thesis's WINDIM: Chapter 5 names the dimensioning
+// of local (buffer) and isarithmic (global permit) flow-control limits as
+// the natural next steps. This file provides both, built on the
+// repository's simulator and exact solvers:
+//
+//   - DimensionIsarithmic searches the global permit pool size for
+//     maximum simulated power (no product-form model exists for
+//     isarithmic control, so the evaluator is the simulator);
+//   - SizeBuffers derives per-node storage limits K_i from simulated
+//     occupancy distributions;
+//   - ChannelQueueQuantiles derives per-channel queue-length quantiles
+//     from the exact product-form marginal distributions (convolution
+//     algorithm), the analytic counterpart for the windowed network.
+
+import (
+	"fmt"
+
+	"repro/internal/convolution"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// IsarithmicResult reports a permit-pool dimensioning run.
+type IsarithmicResult struct {
+	// Permits is the power-optimal pool size.
+	Permits int
+	// Power is the simulated power at Permits.
+	Power float64
+	// Evaluations counts simulation runs.
+	Evaluations int
+}
+
+// DimensionIsarithmic finds the isarithmic permit pool size that
+// maximises simulated network power, holding the per-class windows of
+// simCfg fixed (set them to 0 to study pure isarithmic control). The
+// search is a 1-D pattern search over [1, maxPermits] with a common
+// random seed across candidates. simCfg.Duration must be set; short
+// durations trade accuracy for speed.
+func DimensionIsarithmic(n *netmodel.Network, simCfg sim.Config, maxPermits int) (*IsarithmicResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPermits < 1 {
+		return nil, fmt.Errorf("core: maxPermits must be >= 1, got %d", maxPermits)
+	}
+	res := &IsarithmicResult{}
+	objective := func(x numeric.IntVector) (float64, error) {
+		cfg := simCfg
+		cfg.GlobalPermits = x[0]
+		out, err := sim.Run(n, cfg)
+		if err != nil {
+			return 0, err
+		}
+		res.Evaluations++
+		m := out.Power
+		if m <= 0 {
+			return 1e18, nil
+		}
+		return 1 / m, nil
+	}
+	// Start at the total hop count: one permit per hop of every route is
+	// the isarithmic analogue of the hop-count window rule.
+	start := n.HopVector().Sum()
+	if start > maxPermits {
+		start = maxPermits
+	}
+	sres, err := pattern.Search(objective, numeric.IntVector{start}, pattern.Options{
+		InitialStep: numeric.IntVector{2},
+		Hi:          numeric.IntVector{maxPermits},
+		MaxHalvings: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Permits = sres.Best[0]
+	res.Power = 1 / sres.BestValue
+	return res, nil
+}
+
+// SizeBuffers returns, per node, the smallest storage limit K_i whose
+// simulated exceedance probability P(occupancy_i > K_i) is at most eps,
+// under the given windows (nil = the network's own). This dimensions the
+// local flow-control limits so that blocking is rare at the chosen
+// windows — the interplay §2.3 warns about (windows larger than buffers
+// make the end-to-end control "totally ineffective").
+//
+// Two caveats callers must respect:
+//
+//   - the quantiles are measured open-loop (no blocking); once the
+//     limits are imposed, stalled channels concentrate occupancy
+//     upstream, so the closed-loop performance can fall well short of
+//     eps's promise. Verify with sim.Run using the returned limits and
+//     tighten eps until the unconstrained power is recovered (see
+//     examples/arpa);
+//   - nodes that never store messages (pure sinks) size to 0, which
+//     sim.Config interprets as "unlimited" — equivalent for such nodes.
+func SizeBuffers(n *netmodel.Network, windows numeric.IntVector, eps float64, simCfg sim.Config) ([]int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: eps must be in (0, 1), got %v", eps)
+	}
+	cfg := simCfg
+	cfg.Windows = windows
+	cfg.NodeBuffers = nil // measure the unconstrained occupancy
+	out, err := sim.Run(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(out.NodeOccupancy))
+	for i, hist := range out.NodeOccupancy {
+		sizes[i] = quantileFromHistogram(hist, eps)
+	}
+	return sizes, nil
+}
+
+// quantileFromHistogram returns the smallest k with
+// sum_{j>k} hist[j] <= eps.
+func quantileFromHistogram(hist []float64, eps float64) int {
+	tail := 0.0
+	for _, p := range hist {
+		tail += p
+	}
+	// tail currently ~1; walk k upward removing mass.
+	for k := 0; k < len(hist); k++ {
+		tail -= hist[k]
+		if tail <= eps {
+			return k
+		}
+	}
+	return len(hist) - 1
+}
+
+// ChannelQueueQuantiles returns, per channel, the smallest k with
+// P(queue length at the channel > k) <= eps under the exact product-form
+// solution of the windowed closed model. Usable when the window lattice
+// is small enough for the convolution algorithm.
+func ChannelQueueQuantiles(n *netmodel.Network, windows numeric.IntVector, eps float64) ([]int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("core: eps must be in (0, 1), got %v", eps)
+	}
+	model, _, err := n.ClosedModel(windows)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := convolution.Solve(model)
+	if err != nil {
+		return nil, err
+	}
+	quantiles := make([]int, len(n.Channels))
+	for l := range n.Channels {
+		quantiles[l] = quantileFromHistogram(sol.Marginal[l], eps)
+	}
+	return quantiles, nil
+}

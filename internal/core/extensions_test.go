@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestDimensionIsarithmic(t *testing.T) {
+	n := topo.Canada2Class(40, 40)
+	res, err := DimensionIsarithmic(n, sim.Config{
+		Duration: 600, Warmup: 60, Seed: 9,
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Permits < 1 || res.Permits > 30 {
+		t.Fatalf("permits = %d", res.Permits)
+	}
+	if res.Power <= 0 {
+		t.Fatalf("power = %v", res.Power)
+	}
+	if res.Evaluations < 3 {
+		t.Errorf("suspiciously few evaluations: %d", res.Evaluations)
+	}
+	// The dimensioned pool beats both a starved pool (1 permit) and a
+	// floody one (30 permits) under the same seed.
+	powerAt := func(p int) float64 {
+		out, err := sim.Run(n, sim.Config{Duration: 600, Warmup: 60, Seed: 9, GlobalPermits: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Power
+	}
+	if res.Power < powerAt(1)-1e-9 {
+		t.Errorf("dimensioned power %v below 1-permit power %v", res.Power, powerAt(1))
+	}
+	if res.Power < powerAt(30)-1e-9 {
+		t.Errorf("dimensioned power %v below 30-permit power %v", res.Power, powerAt(30))
+	}
+}
+
+func TestDimensionIsarithmicErrors(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	if _, err := DimensionIsarithmic(n, sim.Config{Duration: 10}, 0); err == nil {
+		t.Error("expected maxPermits error")
+	}
+	bad := topo.Canada2Class(20, 20)
+	bad.Channels[0].Capacity = -1
+	if _, err := DimensionIsarithmic(bad, sim.Config{Duration: 10}, 5); err == nil {
+		t.Error("expected validation error")
+	}
+	// Broken sim config surfaces as an error from the objective.
+	if _, err := DimensionIsarithmic(n, sim.Config{}, 5); err == nil {
+		t.Error("expected sim config error")
+	}
+}
+
+func TestSizeBuffers(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	sizes, err := SizeBuffers(n, numeric.IntVector{4, 4}, 0.01, sim.Config{
+		Duration: 2000, Warmup: 200, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 6 {
+		t.Fatalf("got %d node sizes", len(sizes))
+	}
+	// With windows (4,4), no node can ever store more than 8 messages.
+	for i, k := range sizes {
+		if k < 0 || k > 8 {
+			t.Errorf("node %d sized %d; window cap is 8", i, k)
+		}
+	}
+	// The sized buffers admit ~99% of time: simulate with them and check
+	// throughput barely degrades versus infinite buffers.
+	free, err := sim.Run(n, sim.Config{Windows: numeric.IntVector{4, 4}, Duration: 2000, Warmup: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := sim.Run(n, sim.Config{
+		Windows: numeric.IntVector{4, 4}, Duration: 2000, Warmup: 200, Seed: 4,
+		NodeBuffers: sizes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Throughput < 0.97*free.Throughput {
+		t.Errorf("sized buffers lose throughput: %v vs %v", limited.Throughput, free.Throughput)
+	}
+	if _, err := SizeBuffers(n, nil, 0, sim.Config{Duration: 10}); err == nil {
+		t.Error("expected eps error")
+	}
+}
+
+func TestChannelQueueQuantiles(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	q, err := ChannelQueueQuantiles(n, numeric.IntVector{3, 3}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 7 {
+		t.Fatalf("got %d channel quantiles", len(q))
+	}
+	// Quantiles are bounded by the total population 6 and are larger for
+	// the busier 25 kb/s channels than for a lightly-used 50 kb/s one.
+	for l, k := range q {
+		if k < 0 || k > 6 {
+			t.Errorf("channel %d quantile %d outside [0, 6]", l, k)
+		}
+	}
+	if q[topo.ChMO] < q[topo.ChTM] {
+		t.Errorf("slow channel quantile %d below fast channel %d", q[topo.ChMO], q[topo.ChTM])
+	}
+	// Tighter eps gives (weakly) larger quantiles.
+	tight, err := ChannelQueueQuantiles(n, numeric.IntVector{3, 3}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range q {
+		if tight[l] < q[l] {
+			t.Errorf("channel %d: tighter eps shrank quantile %d -> %d", l, q[l], tight[l])
+		}
+	}
+	if _, err := ChannelQueueQuantiles(n, numeric.IntVector{3, 3}, 1.5); err == nil {
+		t.Error("expected eps error")
+	}
+}
+
+func TestEvaluateWithAckDelay(t *testing.T) {
+	// A positive ack delay reduces attainable throughput at a fixed
+	// window (credits spend time in flight) but never changes the
+	// network-delay bookkeeping (ack station excluded).
+	n := topo.Canada2Class(25, 25)
+	base, err := Evaluate(n, numeric.IntVector{3, 3}, Options{Evaluator: EvalExactMVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range n.Classes {
+		n.Classes[r].AckDelay = 0.1
+	}
+	acked, err := Evaluate(n, numeric.IntVector{3, 3}, Options{Evaluator: EvalExactMVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked.Throughput >= base.Throughput {
+		t.Errorf("ack delay did not reduce throughput: %v vs %v", acked.Throughput, base.Throughput)
+	}
+	// Network delay must not include the ack station's 0.1 s.
+	if acked.Delay > base.Delay+0.02 {
+		t.Errorf("ack latency leaked into network delay: %v vs %v", acked.Delay, base.Delay)
+	}
+}
+
+func TestAckDelayNeedsBiggerWindow(t *testing.T) {
+	// With credits in flight longer, the power-optimal window grows —
+	// the bandwidth-delay product effect.
+	slow := topo.Canada2Class(25, 25)
+	for r := range slow.Classes {
+		slow.Classes[r].AckDelay = 0.3
+	}
+	fast := topo.Canada2Class(25, 25)
+	resSlow, err := Dimension(slow, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFast, err := Dimension(fast, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSlow.Windows[0] <= resFast.Windows[0] {
+		t.Errorf("ack delay should enlarge the optimal window: %v vs %v",
+			resSlow.Windows, resFast.Windows)
+	}
+}
+
+func TestSimMatchesAnalyticWithAckDelay(t *testing.T) {
+	// BCMP insensitivity check: the simulator's deterministic ack delay
+	// against the analytic exponential IS station — the means agree.
+	n := topo.Canada2Class(20, 20)
+	for r := range n.Classes {
+		n.Classes[r].AckDelay = 0.15
+	}
+	w := numeric.IntVector{4, 4}
+	analytic, err := Evaluate(n, w, Options{Evaluator: EvalExactMVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := sim.Run(n, sim.Config{Windows: w, Duration: 10000, Warmup: 1000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(simRes.Throughput-analytic.Throughput) / analytic.Throughput; rel > 0.03 {
+		t.Errorf("throughput %v vs analytic %v (rel %v)", simRes.Throughput, analytic.Throughput, rel)
+	}
+	if rel := math.Abs(simRes.Delay-analytic.Delay) / analytic.Delay; rel > 0.06 {
+		t.Errorf("delay %v vs analytic %v (rel %v)", simRes.Delay, analytic.Delay, rel)
+	}
+}

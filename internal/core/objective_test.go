@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+func TestObjectiveKindStrings(t *testing.T) {
+	if ObjNetworkPower.String() != "network-power" ||
+		ObjMinClassPower.String() != "min-class-power" ||
+		ObjSumClassPower.String() != "sum-class-power" ||
+		ObjectiveKind(9).String() == "" {
+		t.Error("ObjectiveKind strings wrong")
+	}
+}
+
+func TestFairnessObjectiveProtectsWeakClass(t *testing.T) {
+	// On the 4-class network the aggregate criterion squeezes the
+	// long-route classes to windows of 1 (Table 4.12); the max-min
+	// criterion must leave the weakest class strictly better off.
+	n := topo.Canada4Class(20, 20, 20, 40)
+	agg, err := Dimension(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := Dimension(n, Options{Objective: ObjMinClassPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggM, err := Evaluate(n, agg.Windows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fairM, err := Evaluate(n, fair.Windows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fairM.MinClassPower() <= aggM.MinClassPower() {
+		t.Errorf("max-min objective did not raise the weakest class: %v vs %v (windows %v vs %v)",
+			fairM.MinClassPower(), aggM.MinClassPower(), fair.Windows, agg.Windows)
+	}
+	// The trade-off is real: aggregate power drops under the fairness
+	// objective.
+	if fairM.Power >= aggM.Power {
+		t.Errorf("no trade-off: fairness windows have aggregate power %v >= %v", fairM.Power, aggM.Power)
+	}
+}
+
+func TestSumClassPowerObjective(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	res, err := Dimension(n, Options{Objective: ObjSumClassPower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(n, res.Windows, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric network: sum of class powers ~ 2x the per-class power;
+	// sanity only.
+	if m.SumClassPower() <= 0 {
+		t.Errorf("sum-class power = %v", m.SumClassPower())
+	}
+	if math.Abs(m.ClassPower(0)-m.ClassPower(1)) > 0.05*m.ClassPower(0) {
+		t.Errorf("asymmetric class powers on a symmetric network: %v vs %v",
+			m.ClassPower(0), m.ClassPower(1))
+	}
+}
+
+func TestObjectiveValueDegenerate(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	m, err := Evaluate(n, numeric.IntVector{1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []ObjectiveKind{ObjNetworkPower, ObjMinClassPower, ObjSumClassPower} {
+		v := objectiveValue(m, kind)
+		if v <= 0 || math.IsInf(v, 1) {
+			t.Errorf("%v: objective %v for a healthy operating point", kind, v)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package core implements WINDIM (Ch. 4 §4.4): dimensioning of the
+// end-to-end flow-control windows of a message-switched network so that
+// the network power P = throughput/delay is maximised.
+//
+// WINDIM is the composition of three pieces built elsewhere in this
+// repository: the Fig. 4.6 closed-chain transformation
+// (internal/netmodel), a per-candidate performance evaluation by
+// approximate mean value analysis (internal/mva), and a Hooke–Jeeves
+// pattern search over integer window vectors (internal/pattern)
+// initialised at Kleinrock's hop-count windows.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/mva"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/pattern"
+	"repro/internal/power"
+)
+
+// Evaluator selects the model solved for each candidate window vector.
+type Evaluator int
+
+const (
+	// EvalSigmaMVA is the thesis's evaluator: the σ-heuristic
+	// approximate MVA (linear in window sizes).
+	EvalSigmaMVA Evaluator = iota
+	// EvalSchweitzerMVA uses the Schweitzer–Bard approximate MVA.
+	EvalSchweitzerMVA
+	// EvalExactMVA uses the exact multichain recursion — exponential in
+	// the number of classes, usable only for small networks; it is the
+	// reference WINDIM is measured against in the ablation experiments.
+	EvalExactMVA
+	// EvalLinearizerMVA uses the Linearizer AMVA (Chandy–Neuse 1982), a
+	// post-thesis refinement included for the ablation study.
+	EvalLinearizerMVA
+)
+
+func (e Evaluator) String() string {
+	switch e {
+	case EvalSigmaMVA:
+		return "sigma-mva"
+	case EvalSchweitzerMVA:
+		return "schweitzer-mva"
+	case EvalExactMVA:
+		return "exact-mva"
+	case EvalLinearizerMVA:
+		return "linearizer-mva"
+	default:
+		return fmt.Sprintf("Evaluator(%d)", int(e))
+	}
+}
+
+// ObjectiveKind selects what Dimension maximises.
+type ObjectiveKind int
+
+const (
+	// ObjNetworkPower is the thesis's criterion: total throughput over
+	// mean network delay.
+	ObjNetworkPower ObjectiveKind = iota
+	// ObjMinClassPower maximises the weakest class's own power
+	// lambda_r/T_r — a max-min fairness variant: the aggregate criterion
+	// will happily starve a long-route class to fatten the total
+	// (visible in Table 4.12's (1,1,1,4) settings).
+	ObjMinClassPower
+	// ObjSumClassPower maximises the sum of per-class powers.
+	ObjSumClassPower
+)
+
+func (o ObjectiveKind) String() string {
+	switch o {
+	case ObjNetworkPower:
+		return "network-power"
+	case ObjMinClassPower:
+		return "min-class-power"
+	case ObjSumClassPower:
+		return "sum-class-power"
+	default:
+		return fmt.Sprintf("ObjectiveKind(%d)", int(o))
+	}
+}
+
+// objectiveValue maps metrics to the value the search minimises.
+func objectiveValue(m *power.Metrics, kind ObjectiveKind) float64 {
+	var p float64
+	switch kind {
+	case ObjMinClassPower:
+		p = m.MinClassPower()
+	case ObjSumClassPower:
+		p = m.SumClassPower()
+	default:
+		p = m.Power
+	}
+	if p <= 0 || math.IsNaN(p) {
+		return math.Inf(1)
+	}
+	return 1 / p
+}
+
+// SearchKind selects the optimiser.
+type SearchKind int
+
+const (
+	// PatternSearch is the thesis's Hooke–Jeeves direct search.
+	PatternSearch SearchKind = iota
+	// ExhaustiveSearch scans the whole window box; only feasible for
+	// small networks, used to probe the global optimality of the pattern
+	// search (as the thesis does for Fig. 4.9).
+	ExhaustiveSearch
+)
+
+func (s SearchKind) String() string {
+	switch s {
+	case PatternSearch:
+		return "pattern"
+	case ExhaustiveSearch:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("SearchKind(%d)", int(s))
+	}
+}
+
+// Options configures WINDIM. The zero value reproduces the thesis:
+// σ-heuristic MVA evaluations, pattern search from the hop-count windows
+// with unit steps and KMAX = 2, windows bounded to [1, MaxWindow].
+type Options struct {
+	Evaluator Evaluator
+	Search    SearchKind
+	// Objective selects the criterion to maximise (default: the
+	// thesis's network power).
+	Objective ObjectiveKind
+	// InitialWindows overrides the hop-count starting vector.
+	InitialWindows numeric.IntVector
+	// InitialStep overrides the all-ones starting step of the pattern
+	// search.
+	InitialStep numeric.IntVector
+	// MaxWindow bounds every window from above; <= 0 means 64 (far above
+	// any power-optimal setting for the networks considered — optima
+	// shrink, not grow, with load).
+	MaxWindow int
+	// MaxHalvings is the pattern search KMAX; 0 means 2.
+	MaxHalvings int
+	// Workers parallelises the exhaustive search across goroutines
+	// (analytic evaluations are pure, so this is safe); <= 1 is serial.
+	// Ignored by the pattern search, whose moves are sequential by
+	// construction.
+	Workers int
+	// BufferLimits, when non-nil, constrains the search to window
+	// vectors that cannot overflow the given per-node storage limits
+	// even in the worst case: for every node i with limit K_i > 0, the
+	// windows of all classes that can store messages at node i (source
+	// and transit nodes of their route; the sink never stores) must sum
+	// to at most K_i. This is §2.3's consistency rule — windows beyond
+	// buffer capacity make end-to-end control "totally ineffective".
+	// Length must equal the node count; entries <= 0 mean unlimited.
+	BufferLimits []int
+	// MVA carries tolerance/iteration settings for the approximate
+	// evaluators (Method is overridden by Evaluator).
+	MVA mva.Options
+}
+
+// Result is the outcome of a WINDIM run.
+type Result struct {
+	// Windows is the dimensioned window vector E_opt.
+	Windows numeric.IntVector
+	// Metrics holds the performance at Windows.
+	Metrics *power.Metrics
+	// Search is the underlying optimiser trace.
+	Search *pattern.Result
+	// NonConverged counts candidate evaluations whose approximate MVA
+	// fixed point failed to converge (treated as infeasible points).
+	NonConverged int
+}
+
+// Evaluate solves the closed-chain model of the network at the given
+// window vector and returns its power metrics.
+func Evaluate(n *netmodel.Network, windows numeric.IntVector, opts Options) (*power.Metrics, error) {
+	model, sources, err := n.ClosedModel(windows)
+	if err != nil {
+		return nil, err
+	}
+	var sol *mva.Solution
+	switch opts.Evaluator {
+	case EvalExactMVA:
+		sol, err = mva.ExactMultichain(model)
+	case EvalSchweitzerMVA:
+		mo := opts.MVA
+		mo.Method = mva.Schweitzer
+		sol, err = mva.Approximate(model, mo)
+	case EvalLinearizerMVA:
+		sol, err = mva.Linearizer(model, opts.MVA)
+	default:
+		mo := opts.MVA
+		mo.Method = mva.SigmaHeuristic
+		sol, err = mva.Approximate(model, mo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return power.FromSolution(model, sol, sources)
+}
+
+// Dimension runs WINDIM on the network and returns the power-optimal
+// window settings.
+func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nCls := len(n.Classes)
+	maxW := opts.MaxWindow
+	if maxW <= 0 {
+		maxW = 64
+	}
+	hi := numeric.NewIntVector(nCls)
+	lo := numeric.NewIntVector(nCls)
+	for i := range hi {
+		hi[i] = maxW
+		lo[i] = 1
+	}
+	var feasible func(numeric.IntVector) bool
+	if opts.BufferLimits != nil {
+		if len(opts.BufferLimits) != len(n.Nodes) {
+			return nil, fmt.Errorf("core: %d buffer limits for %d nodes", len(opts.BufferLimits), len(n.Nodes))
+		}
+		// storers[i] lists the classes that can store messages at node i
+		// (every route node except the sink).
+		storers := make([][]int, len(n.Nodes))
+		for r := range n.Classes {
+			nodes, err := n.RouteNodes(r)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range nodes[:len(nodes)-1] {
+				storers[v] = append(storers[v], r)
+			}
+		}
+		feasible = func(x numeric.IntVector) bool {
+			for i, k := range opts.BufferLimits {
+				if k <= 0 {
+					continue
+				}
+				sum := 0
+				for _, r := range storers[i] {
+					sum += x[r]
+				}
+				if sum > k {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	res := &Result{}
+	var nonConverged atomic.Int64
+	objective := func(x numeric.IntVector) (float64, error) {
+		if feasible != nil && !feasible(x) {
+			return math.Inf(1), nil
+		}
+		m, err := Evaluate(n, x, opts)
+		if err != nil {
+			// A non-converged fixed point marks the candidate as
+			// infeasible rather than aborting the search.
+			if errors.Is(err, mva.ErrNotConverged) {
+				nonConverged.Add(1)
+				return math.Inf(1), nil
+			}
+			return 0, err
+		}
+		return objectiveValue(m, opts.Objective), nil
+	}
+
+	var sres *pattern.Result
+	var err error
+	switch opts.Search {
+	case ExhaustiveSearch:
+		sres, err = pattern.ExhaustiveParallel(objective, lo, hi, 0, opts.Workers)
+	default:
+		start := opts.InitialWindows
+		if start == nil {
+			start = n.HopVector()
+		}
+		if len(start) != nCls {
+			return nil, fmt.Errorf("core: initial window vector has %d entries for %d classes", len(start), nCls)
+		}
+		if feasible != nil && !feasible(start) {
+			// The hop-count start can violate tight buffer limits; fall
+			// back to the all-ones vector, the smallest live setting.
+			ones := numeric.NewIntVector(nCls)
+			for i := range ones {
+				ones[i] = 1
+			}
+			if !feasible(ones) {
+				return nil, fmt.Errorf("core: buffer limits admit no window setting (even all-ones overflows some node)")
+			}
+			start = ones
+		}
+		sres, err = pattern.Search(objective, start, pattern.Options{
+			InitialStep: opts.InitialStep,
+			Lo:          lo,
+			Hi:          hi,
+			MaxHalvings: opts.MaxHalvings,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sres.Best == nil || math.IsInf(sres.BestValue, 1) {
+		return nil, fmt.Errorf("core: no feasible window setting found (evaluator %v)", opts.Evaluator)
+	}
+	metrics, err := Evaluate(n, sres.Best, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Windows = sres.Best
+	res.Metrics = metrics
+	res.Search = sres
+	res.NonConverged = int(nonConverged.Load())
+	return res, nil
+}
+
+// KleinrockWindows returns the hop-count window vector (E_r = number of
+// hops of class r), the rule of [52] used both as WINDIM's starting point
+// and as the baseline P_4431 column of Table 4.12.
+func KleinrockWindows(n *netmodel.Network) numeric.IntVector {
+	return n.HopVector()
+}

@@ -1,0 +1,306 @@
+// Package crosscheck holds randomized integration tests that pit the
+// repository's independent solvers against each other on generated
+// networks: the strongest evidence that each one implements the same
+// mathematics. No production code lives here.
+package crosscheck
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/convolution"
+	"repro/internal/markov"
+	"repro/internal/mva"
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// randomNetwork builds a random closed multichain network: 2-4 stations
+// (FCFS or IS), 1-3 unit-visit cyclic chains with populations 1-4 and
+// service times in [0.05, 1.05).
+func randomNetwork(stream *rng.Stream) *qnet.Network {
+	nSt := 2 + stream.Intn(3)
+	nCh := 1 + stream.Intn(3)
+	net := &qnet.Network{Stations: make([]qnet.Station, nSt)}
+	for i := range net.Stations {
+		net.Stations[i].Name = "s"
+		if stream.Float64() < 0.25 {
+			net.Stations[i].Kind = qnet.IS
+		}
+	}
+	// A common service time per station keeps FCFS class-independent.
+	servTime := make([]float64, nSt)
+	for i := range servTime {
+		servTime[i] = 0.05 + stream.Float64()
+	}
+	for r := 0; r < nCh; r++ {
+		// Random non-empty station subset.
+		var route []int
+		for i := 0; i < nSt; i++ {
+			if stream.Float64() < 0.7 {
+				route = append(route, i)
+			}
+		}
+		if len(route) == 0 {
+			route = []int{stream.Intn(nSt)}
+		}
+		visits := make([]float64, nSt)
+		st := make([]float64, nSt)
+		for _, i := range route {
+			visits[i] = 1
+			st[i] = servTime[i]
+		}
+		net.Chains = append(net.Chains, qnet.Chain{
+			Name:       "c",
+			Population: 1 + stream.Intn(4),
+			Visits:     visits,
+			ServTime:   st,
+		})
+	}
+	return net
+}
+
+func TestRandomNetworksConvolutionVsExactMVA(t *testing.T) {
+	stream := rng.New(20260704)
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		net := randomNetwork(stream)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid network: %v", trial, err)
+		}
+		conv, err := convolution.Solve(net)
+		if err != nil {
+			t.Fatalf("trial %d: convolution: %v", trial, err)
+		}
+		exact, err := mva.ExactMultichain(net)
+		if err != nil {
+			t.Fatalf("trial %d: mva: %v", trial, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			if math.Abs(conv.Throughput[r]-exact.Throughput[r]) > 1e-8*(1+exact.Throughput[r]) {
+				t.Errorf("trial %d chain %d: conv %v vs mva %v", trial, r, conv.Throughput[r], exact.Throughput[r])
+			}
+		}
+		for i := 0; i < net.N(); i++ {
+			for r := 0; r < net.R(); r++ {
+				if math.Abs(conv.QueueLen.At(i, r)-exact.QueueLen.At(i, r)) > 1e-7 {
+					t.Errorf("trial %d st %d ch %d: conv N %v vs mva %v",
+						trial, i, r, conv.QueueLen.At(i, r), exact.QueueLen.At(i, r))
+				}
+			}
+		}
+	}
+}
+
+func TestRandomNetworksCTMCVsConvolution(t *testing.T) {
+	stream := rng.New(42)
+	checked := 0
+	for trial := 0; checked < 40 && trial < 400; trial++ {
+		net := randomNetwork(stream)
+		// Keep the CTMC small.
+		total := 0
+		for r := range net.Chains {
+			total += net.Chains[r].Population
+		}
+		if total > 6 {
+			continue
+		}
+		ctmc, err := markov.Solve(net)
+		if err != nil {
+			t.Fatalf("trial %d: ctmc: %v", trial, err)
+		}
+		conv, err := convolution.Solve(net)
+		if err != nil {
+			t.Fatalf("trial %d: convolution: %v", trial, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			if math.Abs(ctmc.Throughput[r]-conv.Throughput[r]) > 1e-5*(1+conv.Throughput[r]) {
+				t.Errorf("trial %d chain %d: ctmc %v vs conv %v", trial, r, ctmc.Throughput[r], conv.Throughput[r])
+			}
+		}
+		checked++
+	}
+	if checked < 40 {
+		t.Fatalf("only %d small networks generated", checked)
+	}
+}
+
+func TestRandomNetworksBoundsAndAMVA(t *testing.T) {
+	stream := rng.New(7)
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		net := randomNetwork(stream)
+		exact, err := mva.ExactMultichain(net)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := mva.AsymptoticBounds(net)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			lam := exact.Throughput[r]
+			if lam < b.Lower[r]-1e-9 || lam > b.Upper[r]+1e-9 {
+				t.Errorf("trial %d chain %d: lambda %v outside [%v, %v]",
+					trial, r, lam, b.Lower[r], b.Upper[r])
+			}
+		}
+		// AMVA accuracy: the heuristics are only asymptotically valid (the
+		// thesis cites [26]); tiny populations are their worst case. Check
+		// a tight limit where every chain carries at least 3 customers,
+		// and a loose never-pathological cap elsewhere.
+		tiny := false
+		for r := range net.Chains {
+			if net.Chains[r].Population < 3 {
+				tiny = true
+			}
+		}
+		limit := 0.10
+		if tiny {
+			limit = 0.60
+		}
+		for _, m := range []mva.Method{mva.SigmaHeuristic, mva.Schweitzer} {
+			sol, err := mva.Approximate(net, mva.Options{Method: m, Damping: 0.5})
+			if err != nil {
+				t.Fatalf("trial %d method %v: %v", trial, m, err)
+			}
+			for r := 0; r < net.R(); r++ {
+				rel := math.Abs(sol.Throughput[r]-exact.Throughput[r]) / exact.Throughput[r]
+				if rel > limit {
+					t.Errorf("trial %d method %v chain %d: rel err %v (limit %v)", trial, m, r, rel, limit)
+				}
+			}
+		}
+		lin, err := mva.Linearizer(net, mva.Options{Damping: 0.5})
+		if err != nil {
+			t.Fatalf("trial %d linearizer: %v", trial, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			rel := math.Abs(lin.Throughput[r]-exact.Throughput[r]) / exact.Throughput[r]
+			if rel > limit {
+				t.Errorf("trial %d linearizer chain %d: rel err %v (limit %v)", trial, r, rel, limit)
+			}
+		}
+	}
+}
+
+// The full queue-length DISTRIBUTIONS (not just means) agree between the
+// CTMC and the product-form marginals on random small networks — the
+// strongest statement of the Chapter 3 equivalence.
+func TestRandomNetworksMarginalsCTMCVsConvolution(t *testing.T) {
+	stream := rng.New(606)
+	checked := 0
+	for trial := 0; checked < 25 && trial < 300; trial++ {
+		net := randomNetwork(stream)
+		total := 0
+		for r := range net.Chains {
+			total += net.Chains[r].Population
+		}
+		if total > 5 {
+			continue
+		}
+		ctmc, err := markov.Solve(net)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		conv, err := convolution.Solve(net)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < net.N(); i++ {
+			for k := range conv.Marginal[i] {
+				want := conv.Marginal[i][k]
+				got := 0.0
+				if k < len(ctmc.Marginal[i]) {
+					got = ctmc.Marginal[i][k]
+				}
+				if math.Abs(got-want) > 1e-5 {
+					t.Errorf("trial %d station %d P(N=%d): ctmc %v vs conv %v", trial, i, k, got, want)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < 25 {
+		t.Fatalf("only %d networks checked", checked)
+	}
+}
+
+// The simulator converges to the exact solution on random tandem
+// networks (short runs, loose tolerance: this is a smoke-level sweep; the
+// tight validations live in internal/sim).
+func TestRandomTandemsSimVsExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	stream := rng.New(808)
+	for trial := 0; trial < 6; trial++ {
+		hops := 1 + stream.Intn(4)
+		rate := 10 + stream.Float64()*30
+		window := 1 + stream.Intn(6)
+		n, err := topo.Tandem(hops, 50000, rate, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Classes[0].Window = window
+		model, _, err := n.ClosedModel(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := mva.ExactMultichain(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(n, sim.Config{Duration: 4000, Warmup: 400, Seed: uint64(trial + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.Throughput-exact.Throughput[0]) / exact.Throughput[0]
+		if rel > 0.05 {
+			t.Errorf("trial %d (hops %d rate %.1f window %d): sim %v vs exact %v",
+				trial, hops, rate, window, res.Throughput, exact.Throughput[0])
+		}
+	}
+}
+
+// Population conservation holds across every solver on random networks.
+func TestRandomNetworksPopulationConservation(t *testing.T) {
+	stream := rng.New(99)
+	for trial := 0; trial < 100; trial++ {
+		net := randomNetwork(stream)
+		for name, solve := range map[string]func() (*numeric.Matrix, error){
+			"mva": func() (*numeric.Matrix, error) {
+				s, err := mva.ExactMultichain(net)
+				if err != nil {
+					return nil, err
+				}
+				return s.QueueLen, nil
+			},
+			"conv": func() (*numeric.Matrix, error) {
+				s, err := convolution.Solve(net)
+				if err != nil {
+					return nil, err
+				}
+				return s.QueueLen, nil
+			},
+		} {
+			q, err := solve()
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			for r := 0; r < net.R(); r++ {
+				sum := 0.0
+				for i := 0; i < net.N(); i++ {
+					sum += q.At(i, r)
+				}
+				if math.Abs(sum-float64(net.Chains[r].Population)) > 1e-7 {
+					t.Errorf("trial %d %s chain %d: population %v != %d",
+						trial, name, r, sum, net.Chains[r].Population)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustness(t *testing.T) {
+	rows, err := Robustness(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d scenarios", len(rows))
+	}
+	for _, r := range rows {
+		if r.PowerOpt <= 0 || r.PowerHop <= 0 {
+			t.Errorf("%s: degenerate powers %v / %v", r.Scenario, r.PowerOpt, r.PowerHop)
+			continue
+		}
+		// The dimensioned windows keep a clear advantage in every
+		// scenario — the robustness claim itself.
+		if r.PowerOpt < 1.2*r.PowerHop {
+			t.Errorf("%s: WINDIM %v vs hop rule %v — advantage lost", r.Scenario, r.PowerOpt, r.PowerHop)
+		}
+	}
+	// The model-faithful row tracks the analytic optimum (~597).
+	if rows[0].PowerOpt < 500 || rows[0].PowerOpt > 700 {
+		t.Errorf("model-faithful power %v outside the expected band", rows[0].PowerOpt)
+	}
+	var b strings.Builder
+	if err := RenderRobustness(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Robustness") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaling(t *testing.T) {
+	r, err := Scaling(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Windows) != 6 {
+		t.Fatalf("windows = %v", r.Windows)
+	}
+	// WINDIM at least matches the hop rule it starts from.
+	if r.PowerOpt < r.PowerHop-1e-6 {
+		t.Errorf("P_opt %v below hop-rule power %v", r.PowerOpt, r.PowerHop)
+	}
+	// Cross-solver agreement at the chosen windows: Linearizer and the
+	// simulator both within ~10%% of the sigma evaluation.
+	if rel := abs(r.PowerLinearizer-r.PowerOpt) / r.PowerOpt; rel > 0.10 {
+		t.Errorf("linearizer power %v vs sigma %v", r.PowerLinearizer, r.PowerOpt)
+	}
+	if rel := abs(r.SimPower-r.PowerOpt) / r.PowerOpt; rel > 0.10 {
+		t.Errorf("sim power %v vs sigma %v", r.SimPower, r.PowerOpt)
+	}
+	var b strings.Builder
+	if err := RenderScaling(&b, 8, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "10-node") {
+		t.Error("render missing title")
+	}
+}

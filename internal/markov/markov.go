@@ -1,0 +1,319 @@
+// Package markov solves small closed multichain queueing networks by
+// brute force: it generates the full continuous-time Markov chain over
+// queue-length vectors, assembles the global balance equations (Ch. 3
+// §3.3.1), and solves them by uniformised power iteration.
+//
+// The state process of a multiclass FCFS queue is not Markov in its
+// queue-length vector (the in-queue order matters), so the generator is
+// built under processor-sharing semantics: by the BCMP theorem a PS
+// station with class-independent exponential service has exactly the same
+// equilibrium queue-length distribution as the FCFS station the thesis
+// models, which is what the product-form solvers compute. The package
+// exists purely as an independent oracle for testing internal/convolution
+// and internal/mva; its cost is exponential in both chains and stations.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// StateBudget caps the CTMC state-space size.
+const StateBudget = 200000
+
+// Solution carries the CTMC steady-state measures, in the same units as
+// the product-form solvers.
+type Solution struct {
+	// Throughput[r] is chain r's throughput (per unit visit ratio; the
+	// chains must have unit visit ratios, see Solve).
+	Throughput numeric.Vector
+	// QueueLen.At(i, r) is the mean number of chain-r customers at
+	// station i.
+	QueueLen *numeric.Matrix
+	// Marginal[i][k] is the probability that station i holds exactly k
+	// customers in total.
+	Marginal [][]float64
+	// States is the number of CTMC states.
+	States int
+	// Iterations is the number of power-iteration sweeps performed.
+	Iterations int
+}
+
+type transition struct {
+	to   int
+	rate float64
+}
+
+// Solve builds and solves the CTMC. Restrictions (documented, enforced):
+// every chain must be cyclic with unit visit ratios (the form all
+// window-controlled virtual channels take); the route is taken to be the
+// chain's visited stations in increasing index order, which is
+// measure-equivalent to any other order for product-form networks.
+func Solve(net *qnet.Network) (*Solution, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range net.Stations {
+		if net.Stations[i].OpenLoad > 0 {
+			return nil, fmt.Errorf("markov: station %d has open load; the CTMC oracle handles pure closed networks only", i)
+		}
+	}
+	for r := range net.Chains {
+		for i, v := range net.Chains[r].Visits {
+			if v != 0 && v != 1 {
+				return nil, fmt.Errorf("markov: chain %d has visit ratio %v at station %d; the CTMC oracle needs unit-visit cyclic chains", r, v, i)
+			}
+		}
+	}
+	chainStations := net.ChainStations()
+	nCh := net.R()
+	nSt := net.N()
+
+	// next[r][i] = station after i on chain r's cycle.
+	next := make([]map[int]int, nCh)
+	for r := 0; r < nCh; r++ {
+		route := chainStations[r]
+		next[r] = make(map[int]int, len(route))
+		for k, i := range route {
+			next[r][i] = route[(k+1)%len(route)]
+		}
+	}
+
+	// State: h[i][r] counts. Encode states by enumerating each chain's
+	// composition over its route and taking the cross product.
+	nStates := 1
+	perChain := make([][]numeric.IntVector, nCh)
+	for r := 0; r < nCh; r++ {
+		pop := net.Chains[r].Population
+		bins := len(chainStations[r])
+		cnt := numeric.CompositionsCount(pop, bins)
+		if cnt == 0 {
+			return nil, fmt.Errorf("markov: chain %d has no feasible placements", r)
+		}
+		nStates *= cnt
+		if nStates > StateBudget || nStates < 0 {
+			return nil, fmt.Errorf("markov: state space exceeds budget %d", StateBudget)
+		}
+		var list []numeric.IntVector
+		numeric.Compositions(pop, bins, func(c numeric.IntVector) {
+			list = append(list, c.Clone())
+		})
+		perChain[r] = list
+	}
+
+	// stateIndex maps the per-chain composition indices (mixed radix) to
+	// a state id; decode reconstructs the composition tuple.
+	radix := make([]int, nCh)
+	for r := 0; r < nCh; r++ {
+		radix[r] = len(perChain[r])
+	}
+	decode := func(id int, out []int) {
+		for r := nCh - 1; r >= 0; r-- {
+			out[r] = id % radix[r]
+			id /= radix[r]
+		}
+	}
+	encode := func(parts []int) int {
+		id := 0
+		for r := 0; r < nCh; r++ {
+			id = id*radix[r] + parts[r]
+		}
+		return id
+	}
+	// compIndex[r] maps a composition's key back to its index, needed to
+	// encode successor states.
+	compIndex := make([]map[string]int, nCh)
+	for r := 0; r < nCh; r++ {
+		compIndex[r] = make(map[string]int, len(perChain[r]))
+		for k, c := range perChain[r] {
+			compIndex[r][c.Key()] = k
+		}
+	}
+
+	// Build sparse transitions.
+	trans := make([][]transition, nStates)
+	parts := make([]int, nCh)
+	totals := numeric.NewVector(nSt)
+	maxOut := 0.0
+	for id := 0; id < nStates; id++ {
+		decode(id, parts)
+		for i := range totals {
+			totals[i] = 0
+		}
+		for r := 0; r < nCh; r++ {
+			comp := perChain[r][parts[r]]
+			for k, i := range chainStations[r] {
+				totals[i] += float64(comp[k])
+			}
+		}
+		outRate := 0.0
+		for r := 0; r < nCh; r++ {
+			comp := perChain[r][parts[r]]
+			route := chainStations[r]
+			for k, i := range route {
+				h := comp[k]
+				if h == 0 {
+					continue
+				}
+				st := &net.Stations[i]
+				mu := 1 / net.Chains[r].ServTime[i]
+				var rate float64
+				if st.Kind == qnet.IS {
+					rate = float64(h) * mu
+				} else {
+					// PS sharing of the (possibly queue-dependent)
+					// capacity among all customers present.
+					rate = st.RateFactor(int(totals[i])) * float64(h) / totals[i] * mu
+				}
+				// Successor: move one chain-r customer i -> next.
+				succ := comp.Clone()
+				succ[k]--
+				for k2, j := range route {
+					if j == next[r][i] {
+						succ[k2]++
+						break
+					}
+				}
+				newParts := make([]int, nCh)
+				copy(newParts, parts)
+				newParts[r] = compIndex[r][succ.Key()]
+				trans[id] = append(trans[id], transition{to: encode(newParts), rate: rate})
+				outRate += rate
+			}
+		}
+		if outRate > maxOut {
+			maxOut = outRate
+		}
+	}
+
+	pi, iters, err := steadyState(trans, nStates, maxOut)
+	if err != nil {
+		return nil, err
+	}
+
+	totalPop := 0
+	for r := 0; r < nCh; r++ {
+		totalPop += net.Chains[r].Population
+	}
+	sol := &Solution{
+		Throughput: numeric.NewVector(nCh),
+		QueueLen:   numeric.NewMatrix(nSt, nCh),
+		Marginal:   make([][]float64, nSt),
+		States:     nStates,
+		Iterations: iters,
+	}
+	for i := range sol.Marginal {
+		sol.Marginal[i] = make([]float64, totalPop+1)
+	}
+	stationTotal := make([]int, nSt)
+	for id := 0; id < nStates; id++ {
+		decode(id, parts)
+		p := pi[id]
+		if p == 0 {
+			continue
+		}
+		for i := range stationTotal {
+			stationTotal[i] = 0
+		}
+		for r := 0; r < nCh; r++ {
+			comp := perChain[r][parts[r]]
+			for k, i := range chainStations[r] {
+				sol.QueueLen.Set(i, r, sol.QueueLen.At(i, r)+p*float64(comp[k]))
+				stationTotal[i] += comp[k]
+			}
+		}
+		for i := 0; i < nSt; i++ {
+			sol.Marginal[i][stationTotal[i]] += p
+		}
+	}
+	// Throughput of chain r: expected departure rate from its first
+	// station (unit visit ratios make this the chain throughput).
+	for id := 0; id < nStates; id++ {
+		decode(id, parts)
+		p := pi[id]
+		if p == 0 {
+			continue
+		}
+		for i := range totals {
+			totals[i] = 0
+		}
+		for r := 0; r < nCh; r++ {
+			comp := perChain[r][parts[r]]
+			for k, i := range chainStations[r] {
+				totals[i] += float64(comp[k])
+			}
+		}
+		for r := 0; r < nCh; r++ {
+			route := chainStations[r]
+			ref := route[0]
+			comp := perChain[r][parts[r]]
+			h := comp[0]
+			if h == 0 {
+				continue
+			}
+			st := &net.Stations[ref]
+			mu := 1 / net.Chains[r].ServTime[ref]
+			var rate float64
+			if st.Kind == qnet.IS {
+				rate = float64(h) * mu
+			} else {
+				rate = st.RateFactor(int(totals[ref])) * float64(h) / totals[ref] * mu
+			}
+			sol.Throughput[r] += p * rate
+		}
+	}
+	return sol, nil
+}
+
+// steadyState solves pi Q = 0 by uniformised power iteration:
+// P = I + Q/Lambda with Lambda slightly above the max exit rate, then
+// pi <- pi P until the change is tiny.
+func steadyState(trans [][]transition, n int, maxOut float64) (numeric.Vector, int, error) {
+	if n == 1 {
+		return numeric.Vector{1}, 0, nil
+	}
+	lambda := maxOut * 1.05
+	if lambda == 0 {
+		return nil, 0, fmt.Errorf("markov: chain has no transitions")
+	}
+	pi := numeric.NewVector(n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := numeric.NewVector(n)
+	const tol = 1e-13
+	maxIter := 200000
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for from := 0; from < n; from++ {
+			p := pi[from]
+			if p == 0 {
+				continue
+			}
+			stay := p
+			for _, tr := range trans[from] {
+				q := p * tr.rate / lambda
+				next[tr.to] += q
+				stay -= q
+			}
+			next[from] += stay
+		}
+		// Normalise (guards drift).
+		sum := next.Sum()
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, iter, fmt.Errorf("markov: power iteration degenerated (sum %v)", sum)
+		}
+		next.Scale(1 / sum)
+		diff := pi.MaxAbsDiff(next)
+		pi, next = next, pi
+		if diff < tol {
+			return pi, iter, nil
+		}
+	}
+	return nil, maxIter, fmt.Errorf("markov: power iteration did not converge in %d sweeps", maxIter)
+}

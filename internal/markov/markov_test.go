@@ -1,0 +1,173 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/convolution"
+	"repro/internal/mva"
+	"repro/internal/qnet"
+)
+
+func cyclic2(pop int, s1, s2 float64) *qnet.Network {
+	return &qnet.Network{
+		Stations: []qnet.Station{{Name: "a"}, {Name: "b"}},
+		Chains: []qnet.Chain{{
+			Name: "c", Population: pop,
+			Visits:   []float64{1, 1},
+			ServTime: []float64{s1, s2},
+		}},
+	}
+}
+
+func TestSolveBalancedCyclic(t *testing.T) {
+	sol, err := Solve(cyclic2(3, 0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 / (4.0 * 0.5)
+	if math.Abs(sol.Throughput[0]-want) > 1e-6 {
+		t.Errorf("lambda = %v, want %v", sol.Throughput[0], want)
+	}
+	if sol.States != 4 {
+		t.Errorf("States = %d, want 4", sol.States)
+	}
+}
+
+// The central Chapter-3 validation: balance equations (CTMC), the
+// convolution algorithm and exact MVA agree on multichain networks.
+func TestCTMCMatchesProductForm(t *testing.T) {
+	nets := []*qnet.Network{
+		cyclic2(4, 0.3, 0.8),
+		func() *qnet.Network {
+			return &qnet.Network{
+				Stations: []qnet.Station{{Name: "s0"}, {Name: "shared"}, {Name: "s2"}},
+				Chains: []qnet.Chain{
+					{Name: "a", Population: 2, Visits: []float64{1, 1, 0}, ServTime: []float64{0.2, 0.1, 0}},
+					{Name: "b", Population: 3, Visits: []float64{0, 1, 1}, ServTime: []float64{0, 0.1, 0.3}},
+				},
+			}
+		}(),
+		func() *qnet.Network { // IS station
+			n := cyclic2(3, 2.0, 0.5)
+			n.Stations[0].Kind = qnet.IS
+			return n
+		}(),
+		func() *qnet.Network { // multi-server station
+			n := cyclic2(4, 1.0, 1.0)
+			n.Stations[1].Servers = 2
+			return n
+		}(),
+	}
+	for ni, net := range nets {
+		ctmc, err := Solve(net)
+		if err != nil {
+			t.Fatalf("net %d ctmc: %v", ni, err)
+		}
+		conv, err := convolution.Solve(net)
+		if err != nil {
+			t.Fatalf("net %d conv: %v", ni, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			if math.Abs(ctmc.Throughput[r]-conv.Throughput[r]) > 1e-6*(1+conv.Throughput[r]) {
+				t.Errorf("net %d chain %d: ctmc lambda %v vs conv %v", ni, r, ctmc.Throughput[r], conv.Throughput[r])
+			}
+		}
+		for i := 0; i < net.N(); i++ {
+			for r := 0; r < net.R(); r++ {
+				if math.Abs(ctmc.QueueLen.At(i, r)-conv.QueueLen.At(i, r)) > 1e-5 {
+					t.Errorf("net %d st %d ch %d: ctmc N %v vs conv %v",
+						ni, i, r, ctmc.QueueLen.At(i, r), conv.QueueLen.At(i, r))
+				}
+			}
+		}
+	}
+}
+
+func TestCTMCMatchesExactMVA(t *testing.T) {
+	net := &qnet.Network{
+		Stations: []qnet.Station{{Name: "x"}, {Name: "y"}, {Name: "z", Kind: qnet.PS}},
+		Chains: []qnet.Chain{
+			{Name: "a", Population: 2, Visits: []float64{1, 1, 1}, ServTime: []float64{0.3, 0.2, 0.1}},
+			{Name: "b", Population: 2, Visits: []float64{0, 1, 1}, ServTime: []float64{0, 0.2, 0.4}},
+		},
+	}
+	ctmc, err := Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := mva.ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if math.Abs(ctmc.Throughput[r]-exact.Throughput[r]) > 1e-6 {
+			t.Errorf("chain %d: %v vs %v", r, ctmc.Throughput[r], exact.Throughput[r])
+		}
+	}
+}
+
+func TestSolvePopulationConservation(t *testing.T) {
+	net := cyclic2(5, 0.4, 0.6)
+	sol, err := Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sol.QueueLen.At(0, 0) + sol.QueueLen.At(1, 0)
+	if math.Abs(sum-5) > 1e-6 {
+		t.Errorf("population leak: %v", sum)
+	}
+}
+
+func TestSolveRejectsNonUnitVisits(t *testing.T) {
+	net := cyclic2(2, 0.5, 0.5)
+	net.Chains[0].Visits[0] = 2
+	if _, err := Solve(net); err == nil {
+		t.Fatal("expected non-unit-visit error")
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	net := cyclic2(2, 0.5, 0.5)
+	net.Chains[0].ServTime[1] = 0
+	if _, err := Solve(net); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSolveStateBudget(t *testing.T) {
+	net := &qnet.Network{
+		Stations: make([]qnet.Station, 8),
+		Chains:   make([]qnet.Chain, 4),
+	}
+	for i := range net.Stations {
+		net.Stations[i].Name = "s"
+	}
+	for r := range net.Chains {
+		visits := make([]float64, 8)
+		serv := make([]float64, 8)
+		for i := range visits {
+			visits[i] = 1
+			serv[i] = 0.1
+		}
+		net.Chains[r] = qnet.Chain{Name: "c", Population: 20, Visits: visits, ServTime: serv}
+	}
+	if _, err := Solve(net); err == nil {
+		t.Fatal("expected state budget error")
+	}
+}
+
+func TestSolveSingleCustomer(t *testing.T) {
+	// One customer cycling two queues: throughput = 1/(s1+s2), each
+	// station holds the customer in proportion to its service time.
+	sol, err := Solve(cyclic2(1, 0.3, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Throughput[0]-1.0) > 1e-6 {
+		t.Errorf("lambda = %v, want 1", sol.Throughput[0])
+	}
+	if math.Abs(sol.QueueLen.At(0, 0)-0.3) > 1e-6 || math.Abs(sol.QueueLen.At(1, 0)-0.7) > 1e-6 {
+		t.Errorf("queue lengths = %v, %v", sol.QueueLen.At(0, 0), sol.QueueLen.At(1, 0))
+	}
+}

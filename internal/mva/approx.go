@@ -1,0 +1,327 @@
+package mva
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// Method selects an approximate MVA variant.
+type Method int
+
+const (
+	// SigmaHeuristic is the thesis's heuristic (Reiser 1979, eqs.
+	// 4.8–4.15): the arrival-instant correction σ_ir is estimated from a
+	// single-chain problem for chain r whose service times are inflated
+	// by the other chains' utilisation, and only the arriving chain's own
+	// queue length is corrected (σ_ij(r-) = 0 for j ≠ r, eq. 4.11).
+	SigmaHeuristic Method = iota
+	// Schweitzer is the Schweitzer–Bard proportional approximation:
+	// N_ij(D - e_r) ≈ N_ij(D) * (D_j - δ_jr)/D_j. Included as the
+	// ablation baseline the thesis's heuristic is judged against.
+	Schweitzer
+)
+
+func (m Method) String() string {
+	switch m {
+	case SigmaHeuristic:
+		return "sigma-heuristic"
+	case Schweitzer:
+		return "schweitzer"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Initialization selects how mean queue lengths are seeded (STEP 1 of the
+// iterative heuristic, eqs. 4.16–4.17).
+type Initialization int
+
+const (
+	// Balanced spreads each chain's population evenly over its stations
+	// (the "totally balanced chain" assumption, eq. 4.17).
+	Balanced Initialization = iota
+	// Bottleneck places each chain's whole population at its
+	// largest-demand station (the "static bottleneck" rule, eq. 4.16).
+	Bottleneck
+)
+
+func (in Initialization) String() string {
+	switch in {
+	case Balanced:
+		return "balanced"
+	case Bottleneck:
+		return "bottleneck"
+	default:
+		return fmt.Sprintf("Initialization(%d)", int(in))
+	}
+}
+
+// Options configures the approximate solvers. The zero value is the
+// thesis's configuration: σ-heuristic, balanced initialisation,
+// tolerance 1e-8 on the throughput vector, up to 10000 sweeps.
+type Options struct {
+	Method Method
+	Init   Initialization
+	// Tol is the convergence threshold on the Euclidean distance between
+	// successive throughput vectors (the APL program's CRIT). <= 0 means
+	// 1e-8.
+	Tol float64
+	// MaxIter bounds fixed-point sweeps. <= 0 means 10000.
+	MaxIter int
+	// Damping in (0, 1] scales queue-length updates: new = damping*new +
+	// (1-damping)*old. 0 means 1 (no damping). The undamped iteration
+	// matches the APL program; damping 0.5 rescues rare oscillations.
+	Damping float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	return o
+}
+
+// ErrNotConverged is wrapped in the error returned when the fixed point
+// fails to converge within MaxIter sweeps.
+var ErrNotConverged = errors.New("mva: approximate MVA did not converge")
+
+// Approximate solves the closed multichain network by the selected
+// approximate MVA. Chains with zero population contribute nothing and get
+// zero throughput.
+func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSupported(net, false); err != nil {
+		return nil, err
+	}
+	net = net.EffectiveClosed()
+	opts = opts.withDefaults()
+	nSt, nCh := net.N(), net.R()
+
+	// Active chains: population >= 1.
+	active := make([]bool, nCh)
+	anyActive := false
+	for r := 0; r < nCh; r++ {
+		if net.Chains[r].Population > 0 {
+			active[r] = true
+			anyActive = true
+		}
+	}
+	sol := newSolution(nSt, nCh)
+	if !anyActive {
+		return sol, nil
+	}
+
+	// Initial queue lengths (STEP 1).
+	q := numeric.NewMatrix(nSt, nCh)
+	for r := 0; r < nCh; r++ {
+		if !active[r] {
+			continue
+		}
+		ch := &net.Chains[r]
+		switch opts.Init {
+		case Bottleneck:
+			best, at := -1.0, -1
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] > 0 && ch.Demand(i) > best {
+					best, at = ch.Demand(i), i
+				}
+			}
+			q.Set(at, r, float64(ch.Population))
+		default: // Balanced
+			cnt := 0
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] > 0 {
+					cnt++
+				}
+			}
+			share := float64(ch.Population) / float64(cnt)
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] > 0 {
+					q.Set(i, r, share)
+				}
+			}
+		}
+	}
+	// Initial throughputs: population over pure service demand (the APL
+	// program's initialisation).
+	lam := numeric.NewVector(nCh)
+	for r := 0; r < nCh; r++ {
+		if !active[r] {
+			continue
+		}
+		d := 0.0
+		for i := 0; i < nSt; i++ {
+			d += net.Chains[r].Demand(i)
+		}
+		lam[r] = float64(net.Chains[r].Population) / d
+	}
+
+	t := numeric.NewMatrix(nSt, nCh)
+	sigma := numeric.NewMatrix(nSt, nCh)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// STEP 2: arrival-instant correction.
+		switch opts.Method {
+		case Schweitzer:
+			for r := 0; r < nCh; r++ {
+				if !active[r] {
+					continue
+				}
+				inv := 1 / float64(net.Chains[r].Population)
+				for i := 0; i < nSt; i++ {
+					sigma.Set(i, r, q.At(i, r)*inv)
+				}
+			}
+		default: // SigmaHeuristic
+			if err := sigmaFromSingleChains(net, active, lam, sigma); err != nil {
+				return nil, err
+			}
+		}
+		// STEP 3: queue times t_ir = s_ir (1 + sum_j N_ij - sigma_ir).
+		for r := 0; r < nCh; r++ {
+			if !active[r] {
+				continue
+			}
+			ch := &net.Chains[r]
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] == 0 {
+					continue
+				}
+				if net.Stations[i].Kind == qnet.IS {
+					t.Set(i, r, ch.ServTime[i])
+					continue
+				}
+				total := 0.0
+				for j := 0; j < nCh; j++ {
+					total += q.At(i, j)
+				}
+				seen := total - sigma.At(i, r)
+				if seen < 0 {
+					seen = 0
+				}
+				t.Set(i, r, ch.ServTime[i]*(1+seen))
+			}
+		}
+		// STEP 4: Little for chains.
+		prev := lam.Clone()
+		for r := 0; r < nCh; r++ {
+			if !active[r] {
+				continue
+			}
+			ch := &net.Chains[r]
+			denom := 0.0
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] > 0 {
+					denom += ch.Visits[i] * t.At(i, r)
+				}
+			}
+			lam[r] = float64(ch.Population) / denom
+		}
+		// STEP 5: Little for queues, with optional damping.
+		for r := 0; r < nCh; r++ {
+			if !active[r] {
+				continue
+			}
+			ch := &net.Chains[r]
+			for i := 0; i < nSt; i++ {
+				if ch.Visits[i] == 0 {
+					continue
+				}
+				next := lam[r] * ch.Visits[i] * t.At(i, r)
+				q.Set(i, r, opts.Damping*next+(1-opts.Damping)*q.At(i, r))
+			}
+		}
+		// STEP 6: stopping condition.
+		if lam.L2Diff(prev) < opts.Tol {
+			sol.Iterations = iter
+			copy(sol.Throughput, lam)
+			for i := 0; i < nSt; i++ {
+				for r := 0; r < nCh; r++ {
+					sol.QueueTime.Set(i, r, t.At(i, r))
+					sol.QueueLen.Set(i, r, q.At(i, r))
+				}
+			}
+			return sol, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d sweeps (method %v, tol %g)",
+		ErrNotConverged, opts.MaxIter, opts.Method, opts.Tol)
+}
+
+// sigmaFromSingleChains fills sigma.At(i, r) with the thesis's heuristic
+// estimate: isolate chain r into a single-chain network whose service
+// times are inflated by the other chains' utilisation at each station,
+// s'_ri = s_ri / (1 - rho_{-r,i}), run exact single-chain MVA up to E_r,
+// and take σ_ir = N_i(E_r) - N_i(E_r - 1) (eq. 4.12). For other chains
+// σ_ij(r-) is taken as zero (eq. 4.11), which STEP 3 realises by
+// subtracting sigma only for the arriving chain.
+func sigmaFromSingleChains(net *qnet.Network, active []bool, lam numeric.Vector, sigma *numeric.Matrix) error {
+	nSt, nCh := net.N(), net.R()
+	const maxRho = 0.999 // clamp: transient iterates can overshoot capacity
+	visits := numeric.NewVector(nSt)
+	servInf := numeric.NewVector(nSt)
+	isStation := make([]bool, nSt)
+	for i := 0; i < nSt; i++ {
+		isStation[i] = net.Stations[i].Kind == qnet.IS
+	}
+	for r := 0; r < nCh; r++ {
+		if !active[r] {
+			continue
+		}
+		ch := &net.Chains[r]
+		for i := 0; i < nSt; i++ {
+			visits[i] = ch.Visits[i]
+			servInf[i] = 0
+			if ch.Visits[i] == 0 {
+				continue
+			}
+			// IS stations have a server per customer: other chains
+			// occupy them without delaying anyone, so no inflation.
+			if isStation[i] {
+				servInf[i] = ch.ServTime[i]
+				continue
+			}
+			other := 0.0
+			for j := 0; j < nCh; j++ {
+				if j != r {
+					other += lam[j] * net.Chains[j].Demand(i)
+				}
+			}
+			if other > maxRho {
+				other = maxRho
+			}
+			servInf[i] = ch.ServTime[i] / (1 - other)
+		}
+		pop := ch.Population
+		curve, err := ExactSingleChain(visits, servInf, isStation, pop)
+		if err != nil {
+			return fmt.Errorf("mva: sigma sub-problem for chain %d: %w", r, err)
+		}
+		nAt := curve.At(pop)
+		nPrev := curve.At(pop - 1)
+		for i := 0; i < nSt; i++ {
+			if ch.Visits[i] > 0 {
+				s := nAt[i] - nPrev[i]
+				if s < 0 {
+					s = 0
+				} else if s > 1 {
+					s = 1
+				}
+				sigma.Set(i, r, s)
+			} else {
+				sigma.Set(i, r, 0)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package mva
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMethodAndInitStrings(t *testing.T) {
+	if SigmaHeuristic.String() != "sigma-heuristic" || Schweitzer.String() != "schweitzer" {
+		t.Error("Method strings wrong")
+	}
+	if Method(9).String() == "" || Initialization(9).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+	if Balanced.String() != "balanced" || Bottleneck.String() != "bottleneck" {
+		t.Error("Initialization strings wrong")
+	}
+}
+
+func TestApproximateSingleChainNearExact(t *testing.T) {
+	// For a single chain, the sigma heuristic's sub-problem IS the exact
+	// single-chain MVA (no other chains inflate service), so the fixed
+	// point should land very close to exact MVA.
+	net := cyclic2(6, 0.4, 0.7)
+	exact, err := ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{SigmaHeuristic, Schweitzer} {
+		sol, err := Approximate(net, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		rel := math.Abs(sol.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+		if rel > 0.05 {
+			t.Errorf("%v: lambda %v vs exact %v (rel err %v)", m, sol.Throughput[0], exact.Throughput[0], rel)
+		}
+		if sol.Iterations < 1 {
+			t.Errorf("%v: no iterations recorded", m)
+		}
+	}
+}
+
+func TestApproximateTwoChainsAccuracy(t *testing.T) {
+	// Multichain accuracy against exact MVA: a few percent is the
+	// expected regime for these heuristics.
+	net := cyclic2(4, 0.5, 0.5)
+	net.Chains = append(net.Chains, net.Chains[0])
+	net.Chains[1].Name = "c2"
+	net.Chains[1].Population = 3
+	exact, err := ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{SigmaHeuristic, Schweitzer} {
+		sol, err := Approximate(net, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for r := 0; r < 2; r++ {
+			rel := math.Abs(sol.Throughput[r]-exact.Throughput[r]) / exact.Throughput[r]
+			if rel > 0.10 {
+				t.Errorf("%v chain %d: lambda %v vs exact %v (rel %v)", m, r, sol.Throughput[r], exact.Throughput[r], rel)
+			}
+		}
+	}
+}
+
+func TestApproximatePopulationConservation(t *testing.T) {
+	net := cyclic2(5, 0.3, 0.6)
+	net.Chains = append(net.Chains, net.Chains[0])
+	net.Chains[1].Population = 2
+	for _, m := range []Method{SigmaHeuristic, Schweitzer} {
+		sol, err := Approximate(net, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := littleCheck(net, sol, 1e-6); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestApproximateInitializationsAgree(t *testing.T) {
+	net := cyclic2(5, 0.2, 0.9)
+	a, err := Approximate(net, Options{Init: Balanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Approximate(net, Options{Init: Bottleneck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Throughput[0]-b.Throughput[0]) > 1e-6 {
+		t.Errorf("initialisations disagree: %v vs %v", a.Throughput[0], b.Throughput[0])
+	}
+}
+
+func TestApproximateZeroPopulation(t *testing.T) {
+	net := cyclic2(0, 0.5, 0.5)
+	sol, err := Approximate(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput[0] != 0 {
+		t.Errorf("lambda = %v for empty chain", sol.Throughput[0])
+	}
+	// Mixed: one empty, one populated chain.
+	net2 := cyclic2(4, 0.5, 0.5)
+	net2.Chains = append(net2.Chains, net2.Chains[0])
+	net2.Chains[1].Population = 0
+	sol2, err := Approximate(net2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Throughput[1] != 0 {
+		t.Errorf("empty chain lambda = %v", sol2.Throughput[1])
+	}
+	if sol2.Throughput[0] <= 0 {
+		t.Errorf("populated chain lambda = %v", sol2.Throughput[0])
+	}
+}
+
+func TestApproximateMaxIterError(t *testing.T) {
+	net := cyclic2(5, 0.4, 0.8)
+	_, err := Approximate(net, Options{MaxIter: 1, Tol: 1e-14})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("expected ErrNotConverged, got %v", err)
+	}
+}
+
+func TestApproximateDamping(t *testing.T) {
+	net := cyclic2(6, 0.4, 0.7)
+	plain, err := Approximate(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damped, err := Approximate(net, Options{Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Throughput[0]-damped.Throughput[0]) > 1e-5 {
+		t.Errorf("damping changes fixed point: %v vs %v", plain.Throughput[0], damped.Throughput[0])
+	}
+}
+
+func TestApproximateRejectsQueueDependent(t *testing.T) {
+	net := cyclic2(3, 0.5, 0.5)
+	net.Stations[1].Servers = 3
+	if _, err := Approximate(net, Options{}); err == nil {
+		t.Fatal("expected unsupported-station error")
+	}
+}
+
+func TestApproximateRejectsInvalid(t *testing.T) {
+	net := cyclic2(3, 0.5, 0.5)
+	net.Chains[0].Visits = []float64{1}
+	if _, err := Approximate(net, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestApproximateWithISStation(t *testing.T) {
+	// Machine repairman approximations should stay near exact values.
+	net := cyclic2(6, 2.0, 0.5)
+	net.Stations[0].Kind = 3 // IS
+	exact, err := ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Approximate(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(sol.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+	if rel > 0.05 {
+		t.Errorf("IS network: lambda %v vs exact %v", sol.Throughput[0], exact.Throughput[0])
+	}
+}
+
+// The heuristic must be asymptotically exact as populations grow (the
+// thesis cites [26] for this property): relative error shrinks with K.
+func TestSigmaHeuristicAsymptotics(t *testing.T) {
+	relAt := func(k int) float64 {
+		net := cyclic2(k, 0.5, 0.4)
+		net.Chains = append(net.Chains, net.Chains[0])
+		net.Chains[1].Population = k
+		exact, err := ExactMultichain(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Approximate(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(sol.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+	}
+	small := relAt(1)
+	large := relAt(25)
+	if large > small+1e-6 {
+		t.Errorf("error grew with population: %v (K=1) -> %v (K=25)", small, large)
+	}
+	if large > 0.02 {
+		t.Errorf("large-population error %v too big", large)
+	}
+}

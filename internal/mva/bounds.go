@@ -1,0 +1,75 @@
+package mva
+
+import (
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// Bounds holds per-chain asymptotic throughput bounds.
+type Bounds struct {
+	// Lower[r] <= Throughput[r] <= Upper[r] for the exact solution.
+	Lower, Upper numeric.Vector
+}
+
+// AsymptoticBounds computes classic asymptotic bounds on each chain's
+// throughput (per unit visit ratio), cheap sanity brackets for any MVA
+// result:
+//
+//	upper_r = min( E_r / (Z_r + sum_i D_ir),  1 / max_i D_ir )
+//	lower_r = E_r / ( Z_r + sum_i D_ir * (1 + (E_tot - 1)) )
+//
+// where D_ir are chain r's queueing demands, Z_r its pure-delay (IS)
+// demand, and E_tot the total network population. The upper bound is the
+// single-chain asymptotic bound (interaction only slows a chain down);
+// the lower bound assumes every arrival finds all other E_tot - 1
+// customers queued ahead at every station, which FCFS class-independent
+// service makes a worst case.
+func AsymptoticBounds(net *qnet.Network) (*Bounds, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSupported(net, false); err != nil {
+		return nil, err
+	}
+	net = net.EffectiveClosed()
+	nCh := net.R()
+	b := &Bounds{
+		Lower: numeric.NewVector(nCh),
+		Upper: numeric.NewVector(nCh),
+	}
+	total := 0
+	for r := 0; r < nCh; r++ {
+		total += net.Chains[r].Population
+	}
+	for r := 0; r < nCh; r++ {
+		ch := &net.Chains[r]
+		e := ch.Population
+		if e == 0 {
+			continue
+		}
+		sumD, maxD, z := 0.0, 0.0, 0.0
+		for i := 0; i < net.N(); i++ {
+			if ch.Visits[i] == 0 {
+				continue
+			}
+			d := ch.Demand(i)
+			if net.Stations[i].Kind == qnet.IS {
+				z += d
+				continue
+			}
+			sumD += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		upper := float64(e) / (z + sumD)
+		if maxD > 0 {
+			if cap := 1 / maxD; cap < upper {
+				upper = cap
+			}
+		}
+		b.Upper[r] = upper
+		b.Lower[r] = float64(e) / (z + sumD*float64(total))
+	}
+	return b, nil
+}

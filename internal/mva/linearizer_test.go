@@ -1,0 +1,188 @@
+package mva
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qnet"
+)
+
+func TestLinearizerSingleChainNearExact(t *testing.T) {
+	net := cyclic2(6, 0.4, 0.7)
+	exact, err := ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Linearizer(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(lin.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+	if rel > 0.01 {
+		t.Errorf("linearizer lambda %v vs exact %v (rel %v)", lin.Throughput[0], exact.Throughput[0], rel)
+	}
+}
+
+func TestLinearizerBeatsSchweitzer(t *testing.T) {
+	// On multichain networks the Linearizer should track exact MVA at
+	// least as well as Schweitzer (aggregated over a few cases).
+	nets := []*qnet.Network{}
+	for _, pops := range [][2]int{{3, 3}, {2, 5}, {4, 2}} {
+		n := cyclic2(pops[0], 0.5, 0.3)
+		n.Chains = append(n.Chains, n.Chains[0])
+		n.Chains[1].Population = pops[1]
+		nets = append(nets, n)
+	}
+	sumLin, sumSchw := 0.0, 0.0
+	for _, net := range nets {
+		exact, err := ExactMultichain(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := Linearizer(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schw, err := Approximate(net, Options{Method: Schweitzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < net.R(); r++ {
+			sumLin += math.Abs(lin.Throughput[r]-exact.Throughput[r]) / exact.Throughput[r]
+			sumSchw += math.Abs(schw.Throughput[r]-exact.Throughput[r]) / exact.Throughput[r]
+		}
+	}
+	if sumLin > sumSchw+1e-9 {
+		t.Errorf("linearizer total error %v worse than schweitzer %v", sumLin, sumSchw)
+	}
+	if sumLin > 0.05 {
+		t.Errorf("linearizer total error %v too large", sumLin)
+	}
+}
+
+func TestLinearizerPopulationConservation(t *testing.T) {
+	net := cyclic2(4, 0.3, 0.6)
+	net.Chains = append(net.Chains, net.Chains[0])
+	net.Chains[1].Population = 3
+	sol, err := Linearizer(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := littleCheck(net, sol, 1e-5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearizerZeroAndInvalid(t *testing.T) {
+	empty := cyclic2(0, 0.5, 0.5)
+	sol, err := Linearizer(empty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput[0] != 0 {
+		t.Errorf("lambda = %v", sol.Throughput[0])
+	}
+	bad := cyclic2(2, 0.5, 0.5)
+	bad.Chains[0].ServTime[0] = -1
+	if _, err := Linearizer(bad, Options{}); err == nil {
+		t.Error("expected validation error")
+	}
+	qd := cyclic2(2, 0.5, 0.5)
+	qd.Stations[0].Servers = 2
+	if _, err := Linearizer(qd, Options{}); err == nil {
+		t.Error("expected unsupported-station error")
+	}
+}
+
+func TestLinearizerWithIS(t *testing.T) {
+	net := cyclic2(5, 2.0, 0.5)
+	net.Stations[0].Kind = qnet.IS
+	exact, err := ExactMultichain(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Linearizer(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(lin.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+	if rel > 0.02 {
+		t.Errorf("linearizer %v vs exact %v", lin.Throughput[0], exact.Throughput[0])
+	}
+}
+
+func TestAsymptoticBoundsBracketExact(t *testing.T) {
+	nets := []*qnet.Network{
+		cyclic2(1, 0.5, 0.3),
+		cyclic2(4, 0.5, 0.3),
+		cyclic2(12, 0.5, 0.3),
+		func() *qnet.Network {
+			n := cyclic2(3, 0.4, 0.2)
+			n.Chains = append(n.Chains, n.Chains[0])
+			n.Chains[1].Population = 4
+			return n
+		}(),
+		func() *qnet.Network {
+			n := cyclic2(5, 2.0, 0.5)
+			n.Stations[0].Kind = qnet.IS
+			return n
+		}(),
+	}
+	for ni, net := range nets {
+		exact, err := ExactMultichain(net)
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		b, err := AsymptoticBounds(net)
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		for r := 0; r < net.R(); r++ {
+			lam := exact.Throughput[r]
+			if lam < b.Lower[r]-1e-9 || lam > b.Upper[r]+1e-9 {
+				t.Errorf("net %d chain %d: lambda %v outside bounds [%v, %v]",
+					ni, r, lam, b.Lower[r], b.Upper[r])
+			}
+		}
+	}
+}
+
+func TestAsymptoticBoundsTightAtExtremes(t *testing.T) {
+	// Population 1: upper bound is exact (no queueing in a lone chain).
+	net := cyclic2(1, 0.5, 0.3)
+	exact, _ := ExactMultichain(net)
+	b, err := AsymptoticBounds(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Upper[0]-exact.Throughput[0]) > 1e-12 {
+		t.Errorf("upper bound %v not tight at K=1 (exact %v)", b.Upper[0], exact.Throughput[0])
+	}
+	// Large population: upper bound approaches the bottleneck rate and
+	// exact approaches it too.
+	big := cyclic2(60, 0.5, 0.3)
+	exactBig, _ := ExactMultichain(big)
+	bBig, _ := AsymptoticBounds(big)
+	if math.Abs(bBig.Upper[0]-2.0) > 1e-12 { // 1/0.5
+		t.Errorf("upper bound %v, want bottleneck 2", bBig.Upper[0])
+	}
+	if exactBig.Throughput[0] < 0.99*2.0 {
+		t.Errorf("exact %v not near bottleneck", exactBig.Throughput[0])
+	}
+}
+
+func TestAsymptoticBoundsValidation(t *testing.T) {
+	bad := cyclic2(2, 0.5, 0.5)
+	bad.Chains[0].Visits = []float64{1}
+	if _, err := AsymptoticBounds(bad); err == nil {
+		t.Error("expected validation error")
+	}
+	zero := cyclic2(0, 0.5, 0.5)
+	b, err := AsymptoticBounds(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Upper[0] != 0 || b.Lower[0] != 0 {
+		t.Errorf("zero-population bounds = [%v, %v]", b.Lower[0], b.Upper[0])
+	}
+}

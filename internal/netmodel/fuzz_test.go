@@ -1,0 +1,31 @@
+package netmodel
+
+import "testing"
+
+// FuzzParseSpec checks the spec parser never panics and that anything it
+// accepts survives a marshal/parse round trip.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nodes": ["a"]}`))
+	f.Add([]byte(`{"name": 3}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"nodes": ["a","b"], "channels": [{"name":"c","from":"a","to":"b","capacity_bps":1}], "classes": [{"name":"x","rate_msg_per_sec":1,"mean_length_bits":1,"route":["c"]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := ParseSpec(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted networks are valid and round-trip.
+		if err := n.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted an invalid network: %v", err)
+		}
+		out, err := n.MarshalSpec()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := ParseSpec(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

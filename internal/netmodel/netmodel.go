@@ -1,0 +1,360 @@
+// Package netmodel describes message-switched store-and-forward networks
+// at the level the thesis's Chapter 4 examples use: switching nodes,
+// half-duplex channels with bit-rate capacities, and message classes
+// (virtual channels) with Poisson arrivals, exponential message lengths
+// and fixed routes.
+//
+// Its central operation is ClosedModel, the Fig. 4.6 / Fig. 4.11
+// transformation: end-to-end window flow control closes each virtual
+// channel into a cyclic routing chain whose population is the window
+// size, visiting one FCFS queue per channel on the route plus a source
+// queue whose exponential service rate is the class's exogenous arrival
+// rate (the "reentrant queue from sink to source" of the APL programs).
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// Node is a switching node (an IMP/TIP-style store-and-forward computer).
+type Node struct {
+	Name string
+}
+
+// Channel is a unidirectional (half-duplex) communication channel between
+// two switching nodes.
+type Channel struct {
+	Name string
+	// From and To are node indices.
+	From, To int
+	// Capacity is the channel capacity in bits/second.
+	Capacity float64
+	// Background is the fraction of the channel's capacity consumed by
+	// uncontrolled cross-traffic (an open chain in the §3.3.3 sense), in
+	// [0, 1). The analytic solvers apply the mixed-network reduction
+	// (service inflation by 1/(1-Background)); the simulator injects an
+	// explicit single-hop Poisson stream of that utilisation.
+	Background float64
+	// PropDelay is the channel's one-way propagation delay in seconds
+	// (zero for the thesis's terrestrial links; ~0.27 s for a
+	// geostationary satellite hop). Modelled as a per-channel IS station
+	// in the closed chain and as an in-flight delay in the simulator;
+	// it counts toward the network delay, and it inflates the
+	// bandwidth-delay product the window must cover.
+	PropDelay float64
+}
+
+// Class is one message class: a virtual channel from a source node to a
+// sink node with end-to-end window flow control.
+type Class struct {
+	Name string
+	// Rate is the exogenous Poisson message arrival rate S_r in
+	// messages/second.
+	Rate float64
+	// MeanLength is the mean (exponential) message length in bits.
+	MeanLength float64
+	// Route lists the channel indices traversed from source to sink.
+	Route []int
+	// Window is the end-to-end window size E_r (maximum unacknowledged
+	// messages on the virtual channel). Zero means "to be dimensioned".
+	Window int
+	// AckDelay is the end-to-end acknowledgement latency in seconds: the
+	// time between delivery at the sink and the credit returning to the
+	// source. The thesis assumes instantaneous acknowledgements
+	// (AckDelay 0); a positive value adds a pure-delay (IS) station to
+	// the closed chain — by BCMP insensitivity only its mean matters.
+	AckDelay float64
+}
+
+// Network is a message-switched network with end-to-end window flow
+// control.
+type Network struct {
+	Name     string
+	Nodes    []Node
+	Channels []Channel
+	Classes  []Class
+}
+
+// Hops returns the number of store-and-forward hops of class r (the
+// length of its route) — Kleinrock's rule-of-thumb window.
+func (n *Network) Hops(r int) int { return len(n.Classes[r].Route) }
+
+// HopVector returns every class's hop count, the thesis's initial
+// window-setting vector (Θ_1, ..., Θ_R).
+func (n *Network) HopVector() numeric.IntVector {
+	v := numeric.NewIntVector(len(n.Classes))
+	for r := range n.Classes {
+		v[r] = n.Hops(r)
+	}
+	return v
+}
+
+// Windows returns the current window vector.
+func (n *Network) Windows() numeric.IntVector {
+	v := numeric.NewIntVector(len(n.Classes))
+	for r := range n.Classes {
+		v[r] = n.Classes[r].Window
+	}
+	return v
+}
+
+// ChannelServiceRate returns channel l's service rate in messages/second
+// for messages of class r: Capacity / MeanLength.
+func (n *Network) ChannelServiceRate(l, r int) float64 {
+	return n.Channels[l].Capacity / n.Classes[r].MeanLength
+}
+
+// BottleneckRate returns the smallest channel service rate along class
+// r's route — the saturation throughput of the virtual channel.
+func (n *Network) BottleneckRate(r int) float64 {
+	min := math.Inf(1)
+	for _, l := range n.Classes[r].Route {
+		if mu := n.ChannelServiceRate(l, r); mu < min {
+			min = mu
+		}
+	}
+	return min
+}
+
+// Validate checks structural well-formedness: positive capacities, rates
+// and lengths; route continuity across node adjacency; and the product
+// form requirement that classes sharing a channel have the same mean
+// message length (the FCFS class-independence condition the thesis's
+// examples satisfy with 1000-bit messages everywhere).
+func (n *Network) Validate() error {
+	if len(n.Nodes) == 0 {
+		return errors.New("netmodel: network has no nodes")
+	}
+	if len(n.Channels) == 0 {
+		return errors.New("netmodel: network has no channels")
+	}
+	if len(n.Classes) == 0 {
+		return errors.New("netmodel: network has no classes")
+	}
+	for i, ch := range n.Channels {
+		if ch.From < 0 || ch.From >= len(n.Nodes) || ch.To < 0 || ch.To >= len(n.Nodes) {
+			return fmt.Errorf("netmodel: channel %d (%s) endpoints (%d,%d) out of range", i, ch.Name, ch.From, ch.To)
+		}
+		if ch.From == ch.To {
+			return fmt.Errorf("netmodel: channel %d (%s) is a self-loop", i, ch.Name)
+		}
+		if ch.Capacity <= 0 || math.IsNaN(ch.Capacity) || math.IsInf(ch.Capacity, 0) {
+			return fmt.Errorf("netmodel: channel %d (%s) capacity %v; need positive finite bits/s", i, ch.Name, ch.Capacity)
+		}
+		if ch.Background < 0 || ch.Background >= 1 || math.IsNaN(ch.Background) {
+			return fmt.Errorf("netmodel: channel %d (%s) background load %v outside [0, 1)", i, ch.Name, ch.Background)
+		}
+		if ch.PropDelay < 0 || math.IsNaN(ch.PropDelay) || math.IsInf(ch.PropDelay, 0) {
+			return fmt.Errorf("netmodel: channel %d (%s) propagation delay %v; need non-negative finite seconds", i, ch.Name, ch.PropDelay)
+		}
+	}
+	for r, c := range n.Classes {
+		if c.Rate <= 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+			return fmt.Errorf("netmodel: class %d (%s) arrival rate %v; need positive finite msg/s", r, c.Name, c.Rate)
+		}
+		if c.MeanLength <= 0 || math.IsNaN(c.MeanLength) || math.IsInf(c.MeanLength, 0) {
+			return fmt.Errorf("netmodel: class %d (%s) mean length %v; need positive finite bits", r, c.Name, c.MeanLength)
+		}
+		if c.Window < 0 {
+			return fmt.Errorf("netmodel: class %d (%s) negative window %d", r, c.Name, c.Window)
+		}
+		if c.AckDelay < 0 || math.IsNaN(c.AckDelay) || math.IsInf(c.AckDelay, 0) {
+			return fmt.Errorf("netmodel: class %d (%s) ack delay %v; need non-negative finite seconds", r, c.Name, c.AckDelay)
+		}
+		if len(c.Route) == 0 {
+			return fmt.Errorf("netmodel: class %d (%s) has an empty route", r, c.Name)
+		}
+		seen := make(map[int]bool, len(c.Route))
+		for k, l := range c.Route {
+			if l < 0 || l >= len(n.Channels) {
+				return fmt.Errorf("netmodel: class %d (%s) route hop %d references channel %d of %d", r, c.Name, k, l, len(n.Channels))
+			}
+			if seen[l] {
+				return fmt.Errorf("netmodel: class %d (%s) traverses channel %d twice", r, c.Name, l)
+			}
+			seen[l] = true
+		}
+		if _, err := n.RouteNodes(r); err != nil {
+			return err
+		}
+	}
+	// Classes sharing a channel must agree on mean length (FCFS class
+	// independence).
+	for l := range n.Channels {
+		first := -1.0
+		firstClass := -1
+		for r, c := range n.Classes {
+			uses := false
+			for _, hop := range c.Route {
+				if hop == l {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			if first < 0 {
+				first, firstClass = c.MeanLength, r
+			} else if math.Abs(c.MeanLength-first) > 1e-9*first {
+				return fmt.Errorf("netmodel: classes %d and %d share FCFS channel %d (%s) with different mean lengths (%v vs %v bits); product form requires equal means",
+					firstClass, r, l, n.Channels[l].Name, first, c.MeanLength)
+			}
+		}
+	}
+	return nil
+}
+
+// RouteNodes reconstructs the node walk of class r's route. Channels are
+// half-duplex — a single queue serving either direction, the reading
+// under which the thesis's 4-class example reuses its 7 channels — so a
+// route may traverse a channel in either orientation; consecutive
+// channels must share a node. The returned slice has len(route)+1 nodes,
+// source first.
+func (n *Network) RouteNodes(r int) ([]int, error) {
+	c := &n.Classes[r]
+	if len(c.Route) == 0 {
+		return nil, fmt.Errorf("netmodel: class %d (%s) has an empty route", r, c.Name)
+	}
+	first := n.Channels[c.Route[0]]
+	if len(c.Route) == 1 {
+		return []int{first.From, first.To}, nil
+	}
+	second := n.Channels[c.Route[1]]
+	touches := func(ch Channel, node int) bool { return ch.From == node || ch.To == node }
+	var start int
+	switch {
+	case touches(second, first.To):
+		start = first.From
+	case touches(second, first.From):
+		start = first.To
+	default:
+		return nil, fmt.Errorf("netmodel: class %d (%s) route is discontinuous between channels %s and %s",
+			r, c.Name, first.Name, second.Name)
+	}
+	nodes := make([]int, 0, len(c.Route)+1)
+	nodes = append(nodes, start)
+	cur := start
+	for k, l := range c.Route {
+		ch := n.Channels[l]
+		switch cur {
+		case ch.From:
+			cur = ch.To
+		case ch.To:
+			cur = ch.From
+		default:
+			return nil, fmt.Errorf("netmodel: class %d (%s) route is discontinuous at hop %d (channel %s does not touch node %d)",
+				r, c.Name, k, ch.Name, cur)
+		}
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// ClosedModel converts the network with the given window vector into its
+// closed multichain queueing model: stations 0..L-1 are the channels'
+// FCFS queues, stations L..L+R-1 are the per-class source queues (service
+// rate S_r), and chain r cycles source_r, its route, and — when the class
+// has a positive AckDelay — a per-class IS acknowledgement station.
+//
+// It returns the model and, per chain, the station indices excluded from
+// the network-delay computation (the source queue, and the ack station if
+// present: both belong to the reentrant sink→source path, V(r) = Q(r) −
+// reentrant in the thesis's notation). A nil windows vector uses the
+// classes' own Window fields.
+func (n *Network) ClosedModel(windows numeric.IntVector) (*qnet.Network, [][]int, error) {
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if windows == nil {
+		windows = n.Windows()
+	}
+	if len(windows) != len(n.Classes) {
+		return nil, nil, fmt.Errorf("netmodel: %d windows for %d classes", len(windows), len(n.Classes))
+	}
+	nL, nR := len(n.Channels), len(n.Classes)
+	nAck := 0
+	for r := range n.Classes {
+		if n.Classes[r].AckDelay > 0 {
+			nAck++
+		}
+	}
+	nProp := 0
+	for l := range n.Channels {
+		if n.Channels[l].PropDelay > 0 {
+			nProp++
+		}
+	}
+	nStations := nL + nR + nProp + nAck
+	net := &qnet.Network{
+		Stations: make([]qnet.Station, nL+nR, nStations),
+		Chains:   make([]qnet.Chain, nR),
+	}
+	for l := range n.Channels {
+		net.Stations[l] = qnet.Station{
+			Name:     "ch:" + n.Channels[l].Name,
+			OpenLoad: n.Channels[l].Background,
+		}
+	}
+	// One IS station per channel with propagation delay, shared by every
+	// class crossing it; part of the network delay (not excluded).
+	propStation := make(map[int]int, nProp)
+	for l := range n.Channels {
+		if n.Channels[l].PropDelay > 0 {
+			propStation[l] = len(net.Stations)
+			net.Stations = append(net.Stations, qnet.Station{
+				Name: "prop:" + n.Channels[l].Name,
+				Kind: qnet.IS,
+			})
+		}
+	}
+	excluded := make([][]int, nR)
+	for r := range n.Classes {
+		c := &n.Classes[r]
+		src := nL + r
+		excluded[r] = []int{src}
+		net.Stations[src] = qnet.Station{Name: "src:" + c.Name}
+		if windows[r] < 0 {
+			return nil, nil, fmt.Errorf("netmodel: negative window %d for class %d", windows[r], r)
+		}
+		route := make([]int, 0, 2*len(c.Route)+2)
+		servTimes := make([]float64, 0, 2*len(c.Route)+2)
+		route = append(route, src)
+		servTimes = append(servTimes, 1/c.Rate)
+		for _, l := range c.Route {
+			route = append(route, l)
+			servTimes = append(servTimes, c.MeanLength/n.Channels[l].Capacity)
+			if ps, ok := propStation[l]; ok {
+				route = append(route, ps)
+				servTimes = append(servTimes, n.Channels[l].PropDelay)
+			}
+		}
+		if c.AckDelay > 0 {
+			ack := len(net.Stations)
+			net.Stations = append(net.Stations, qnet.Station{Name: "ack:" + c.Name, Kind: qnet.IS})
+			excluded[r] = append(excluded[r], ack)
+			route = append(route, ack)
+			servTimes = append(servTimes, c.AckDelay)
+		}
+		chain, err := qnet.CyclicChain(c.Name, nStations, windows[r], route, servTimes)
+		if err != nil {
+			return nil, nil, err
+		}
+		net.Chains[r] = chain
+	}
+	// CyclicChain sized every chain's vectors for nStations; trim is not
+	// needed, but chains built before later ack stations were appended
+	// must still match the final station count.
+	if len(net.Stations) != nStations {
+		return nil, nil, fmt.Errorf("netmodel: internal station-count mismatch (%d != %d)", len(net.Stations), nStations)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: generated model invalid: %w", err)
+	}
+	return net, excluded, nil
+}

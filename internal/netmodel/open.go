@@ -1,0 +1,97 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// OpenMetrics is the analytic solution of the network with no flow
+// control and infinite buffers: the classic open Jackson/Kleinrock model
+// in which each channel is an independent M/M/1 queue fed by the classes
+// routed over it (Ch. 3 §3.3.2 applied to fixed routes).
+type OpenMetrics struct {
+	// ChannelUtilization[l] is rho_l = lambda_l * length / capacity.
+	ChannelUtilization []float64
+	// ChannelDelay[l] is the mean M/M/1 sojourn time at channel l in
+	// seconds.
+	ChannelDelay []float64
+	// ClassDelay[r] is class r's end-to-end network delay (sum over its
+	// route).
+	ClassDelay []float64
+	// Throughput equals the total offered rate (an open stable network
+	// delivers what it is offered).
+	Throughput float64
+	// Delay is the throughput-weighted mean network delay.
+	Delay float64
+	// Power is Throughput/Delay.
+	Power float64
+}
+
+// OpenAnalysis solves the uncontrolled open model. It returns an error
+// (naming the first saturated channel) when some channel's utilisation
+// reaches 1 — the regime where flow control stops being optional.
+func (n *Network) OpenAnalysis() (*OpenMetrics, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nL := len(n.Channels)
+	m := &OpenMetrics{
+		ChannelUtilization: make([]float64, nL),
+		ChannelDelay:       make([]float64, nL),
+		ClassDelay:         make([]float64, len(n.Classes)),
+	}
+	// Aggregate per-channel arrival rates.
+	lambda := make([]float64, nL)
+	for r := range n.Classes {
+		for _, l := range n.Classes[r].Route {
+			lambda[l] += n.Classes[r].Rate
+		}
+	}
+	for l := range n.Channels {
+		if lambda[l] == 0 {
+			continue
+		}
+		// All classes sharing a channel have equal mean length (enforced
+		// by Validate), so one service rate per channel suffices.
+		var mu float64
+		for r := range n.Classes {
+			uses := false
+			for _, hop := range n.Classes[r].Route {
+				if hop == l {
+					uses = true
+					break
+				}
+			}
+			if uses {
+				mu = n.ChannelServiceRate(l, r)
+				break
+			}
+		}
+		// Background cross-traffic adds lambda_bg = Background * mu.
+		lambdaBg := n.Channels[l].Background * mu
+		rho := (lambda[l] + lambdaBg) / mu
+		m.ChannelUtilization[l] = rho
+		if rho >= 1 {
+			return nil, fmt.Errorf("netmodel: channel %d (%s) saturated at utilisation %.3f; the open model has no finite delay",
+				l, n.Channels[l].Name, rho)
+		}
+		m.ChannelDelay[l] = 1 / (mu - lambda[l] - lambdaBg)
+	}
+	totalWeighted := 0.0
+	for r := range n.Classes {
+		d := 0.0
+		for _, l := range n.Classes[r].Route {
+			d += m.ChannelDelay[l]
+		}
+		m.ClassDelay[r] = d
+		m.Throughput += n.Classes[r].Rate
+		totalWeighted += n.Classes[r].Rate * d
+	}
+	if m.Throughput > 0 {
+		m.Delay = totalWeighted / m.Throughput
+	}
+	if m.Delay > 0 && !math.IsInf(m.Delay, 0) {
+		m.Power = m.Throughput / m.Delay
+	}
+	return m, nil
+}

@@ -1,0 +1,103 @@
+package netmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOpenAnalysisLine(t *testing.T) {
+	n := line3() // channels at 50 and 25 msg/s, class rate 10
+	m, err := n.OpenAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rho: 10/50 = 0.2 and 10/25 = 0.4; delays 1/40 and 1/15.
+	if math.Abs(m.ChannelUtilization[0]-0.2) > 1e-12 || math.Abs(m.ChannelUtilization[1]-0.4) > 1e-12 {
+		t.Errorf("utilisations = %v", m.ChannelUtilization)
+	}
+	want := 1.0/40 + 1.0/15
+	if math.Abs(m.ClassDelay[0]-want) > 1e-12 {
+		t.Errorf("class delay = %v, want %v", m.ClassDelay[0], want)
+	}
+	if math.Abs(m.Delay-want) > 1e-12 || m.Throughput != 10 {
+		t.Errorf("network delay %v throughput %v", m.Delay, m.Throughput)
+	}
+	if math.Abs(m.Power-10/want) > 1e-9 {
+		t.Errorf("power = %v", m.Power)
+	}
+}
+
+func TestOpenAnalysisSharedChannel(t *testing.T) {
+	n := line3()
+	n.Classes = append(n.Classes, Class{
+		Name: "c2", Rate: 5, MeanLength: 1000, Route: []int{0}, Window: 1,
+	})
+	m, err := n.OpenAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0 carries 15 msg/s at mu=50.
+	if math.Abs(m.ChannelUtilization[0]-0.3) > 1e-12 {
+		t.Errorf("shared channel utilisation = %v", m.ChannelUtilization[0])
+	}
+	// Class 2 delay is only channel 0's sojourn.
+	if math.Abs(m.ClassDelay[1]-1.0/35) > 1e-12 {
+		t.Errorf("class 2 delay = %v", m.ClassDelay[1])
+	}
+}
+
+func TestOpenAnalysisSaturation(t *testing.T) {
+	n := line3()
+	n.Classes[0].Rate = 30 // channel bc has mu = 25
+	_, err := n.OpenAnalysis()
+	if err == nil || !strings.Contains(err.Error(), "saturated") {
+		t.Fatalf("expected saturation error, got %v", err)
+	}
+}
+
+func TestOpenAnalysisInvalid(t *testing.T) {
+	n := line3()
+	n.Channels[0].Capacity = 0
+	if _, err := n.OpenAnalysis(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestClosedModelWithAckStation(t *testing.T) {
+	n := line3()
+	n.Classes[0].AckDelay = 0.05
+	model, excluded, err := n.ClosedModel(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 channels + 1 source + 1 ack.
+	if model.N() != 4 {
+		t.Fatalf("stations = %d, want 4", model.N())
+	}
+	if len(excluded[0]) != 2 || excluded[0][0] != 2 || excluded[0][1] != 3 {
+		t.Errorf("excluded = %v", excluded)
+	}
+	if model.Stations[3].Kind.String() != "IS" {
+		t.Errorf("ack station kind = %v", model.Stations[3].Kind)
+	}
+	if got := model.Chains[0].ServTime[3]; got != 0.05 {
+		t.Errorf("ack service time = %v", got)
+	}
+	// Chain visits 4 stations cyclically.
+	if model.Chains[0].Visits[3] != 1 {
+		t.Error("chain does not visit the ack station")
+	}
+}
+
+func TestValidateRejectsBadAckDelay(t *testing.T) {
+	n := line3()
+	n.Classes[0].AckDelay = -1
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "ack delay") {
+		t.Fatalf("expected ack-delay error, got %v", err)
+	}
+	n.Classes[0].AckDelay = math.Inf(1)
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for infinite ack delay")
+	}
+}

@@ -1,0 +1,145 @@
+package netmodel
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// ShortestRoute returns the channel sequence of a minimum-delay route
+// from node from to node to, treating channels as half-duplex edges
+// weighted by their no-load transmission time for a message of the given
+// mean length (meanLength/Capacity). Ties break deterministically by
+// channel index. It returns an error when no route exists.
+//
+// The thesis fixes routes by hand for its 6-node examples; this helper
+// scales route construction to the larger networks Chapter 5 points at.
+func (n *Network) ShortestRoute(from, to int, meanLength float64) ([]int, error) {
+	if from < 0 || from >= len(n.Nodes) || to < 0 || to >= len(n.Nodes) {
+		return nil, fmt.Errorf("netmodel: route endpoints (%d, %d) out of range [0, %d)", from, to, len(n.Nodes))
+	}
+	if meanLength <= 0 {
+		return nil, fmt.Errorf("netmodel: mean length %v must be positive", meanLength)
+	}
+	if from == to {
+		return nil, fmt.Errorf("netmodel: route endpoints coincide (node %d)", from)
+	}
+	// Adjacency: per node, the incident channels.
+	adj := make([][]int, len(n.Nodes))
+	for l, ch := range n.Channels {
+		adj[ch.From] = append(adj[ch.From], l)
+		adj[ch.To] = append(adj[ch.To], l)
+	}
+	const unreached = -1
+	dist := make([]float64, len(n.Nodes))
+	via := make([]int, len(n.Nodes)) // channel used to reach the node
+	done := make([]bool, len(n.Nodes))
+	for i := range dist {
+		dist[i] = -1
+		via[i] = unreached
+	}
+	pq := &nodeHeap{}
+	heap.Push(pq, nodeDist{node: from, dist: 0})
+	dist[from] = 0
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == to {
+			break
+		}
+		for _, l := range adj[cur.node] {
+			ch := &n.Channels[l]
+			next := ch.To
+			if next == cur.node {
+				next = ch.From
+			}
+			if done[next] {
+				continue
+			}
+			w := meanLength / ch.Capacity
+			nd := cur.dist + w
+			if dist[next] < 0 || nd < dist[next] {
+				dist[next] = nd
+				via[next] = l
+				heap.Push(pq, nodeDist{node: next, dist: nd})
+			}
+		}
+	}
+	if via[to] == unreached {
+		return nil, fmt.Errorf("netmodel: no route from node %d (%s) to node %d (%s)",
+			from, n.Nodes[from].Name, to, n.Nodes[to].Name)
+	}
+	// Walk back from the sink.
+	var rev []int
+	cur := to
+	for cur != from {
+		l := via[cur]
+		rev = append(rev, l)
+		ch := &n.Channels[l]
+		if ch.To == cur {
+			cur = ch.From
+		} else {
+			cur = ch.To
+		}
+	}
+	route := make([]int, len(rev))
+	for i := range rev {
+		route[i] = rev[len(rev)-1-i]
+	}
+	return route, nil
+}
+
+// AddClass appends a class routed by ShortestRoute between the named
+// nodes and returns its index.
+func (n *Network) AddClass(name string, fromNode, toNode string, rate, meanLength float64, window int) (int, error) {
+	from, to := -1, -1
+	for i := range n.Nodes {
+		if n.Nodes[i].Name == fromNode {
+			from = i
+		}
+		if n.Nodes[i].Name == toNode {
+			to = i
+		}
+	}
+	if from < 0 {
+		return 0, fmt.Errorf("netmodel: unknown node %q", fromNode)
+	}
+	if to < 0 {
+		return 0, fmt.Errorf("netmodel: unknown node %q", toNode)
+	}
+	route, err := n.ShortestRoute(from, to, meanLength)
+	if err != nil {
+		return 0, err
+	}
+	n.Classes = append(n.Classes, Class{
+		Name: name, Rate: rate, MeanLength: meanLength,
+		Route: route, Window: window,
+	})
+	return len(n.Classes) - 1, nil
+}
+
+type nodeDist struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,95 @@
+package netmodel
+
+import "testing"
+
+// diamond builds a 4-node diamond: a-b-d (fast) and a-c-d (slow).
+func diamond() *Network {
+	return &Network{
+		Name:  "diamond",
+		Nodes: []Node{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}},
+		Channels: []Channel{
+			{Name: "ab", From: 0, To: 1, Capacity: 50000},
+			{Name: "bd", From: 1, To: 3, Capacity: 50000},
+			{Name: "ac", From: 0, To: 2, Capacity: 10000},
+			{Name: "cd", From: 2, To: 3, Capacity: 10000},
+		},
+		Classes: []Class{{
+			Name: "seed", Rate: 1, MeanLength: 1000, Route: []int{0}, Window: 1,
+		}},
+	}
+}
+
+func TestShortestRoutePrefersFastPath(t *testing.T) {
+	n := diamond()
+	route, err := n.ShortestRoute(0, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != 0 || route[1] != 1 {
+		t.Errorf("route = %v, want [0 1] (the 50 kb/s path)", route)
+	}
+}
+
+func TestShortestRouteReverseDirection(t *testing.T) {
+	// Half-duplex: the same channels serve d -> a.
+	n := diamond()
+	route, err := n.ShortestRoute(3, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != 1 || route[1] != 0 {
+		t.Errorf("route = %v, want [1 0]", route)
+	}
+}
+
+func TestShortestRouteErrors(t *testing.T) {
+	n := diamond()
+	if _, err := n.ShortestRoute(0, 0, 1000); err == nil {
+		t.Error("expected error for coinciding endpoints")
+	}
+	if _, err := n.ShortestRoute(-1, 3, 1000); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := n.ShortestRoute(0, 3, 0); err == nil {
+		t.Error("expected mean-length error")
+	}
+	// Disconnected node.
+	n.Nodes = append(n.Nodes, Node{Name: "island"})
+	if _, err := n.ShortestRoute(0, 4, 1000); err == nil {
+		t.Error("expected no-route error")
+	}
+}
+
+func TestAddClass(t *testing.T) {
+	n := diamond()
+	i, err := n.AddClass("vc", "a", "d", 5, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Classes[i]
+	if c.Window != 3 || c.Rate != 5 || len(c.Route) != 2 {
+		t.Errorf("class = %+v", c)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("network with added class invalid: %v", err)
+	}
+	if _, err := n.AddClass("bad", "zz", "d", 1, 1000, 1); err == nil {
+		t.Error("expected unknown-node error")
+	}
+	if _, err := n.AddClass("bad", "a", "zz", 1, 1000, 1); err == nil {
+		t.Error("expected unknown-node error")
+	}
+}
+
+func TestShortestRouteIsContinuousWalk(t *testing.T) {
+	// Routes from ShortestRoute must pass RouteNodes' continuity check
+	// on a mesh with many alternatives.
+	n := diamond()
+	n.Channels = append(n.Channels, Channel{Name: "bc", From: 1, To: 2, Capacity: 50000})
+	if _, err := n.AddClass("vc2", "c", "b", 2, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

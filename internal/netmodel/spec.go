@@ -1,0 +1,145 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the JSON wire form of a Network, with channels referenced by
+// name so that hand-written specs stay readable. It is the input format
+// of the cmd/windim, cmd/qsolve and cmd/netsim tools.
+type Spec struct {
+	Name     string        `json:"name"`
+	Nodes    []string      `json:"nodes"`
+	Channels []ChannelSpec `json:"channels"`
+	Classes  []ClassSpec   `json:"classes"`
+}
+
+// ChannelSpec describes one channel in a Spec.
+type ChannelSpec struct {
+	Name       string  `json:"name"`
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	Capacity   float64 `json:"capacity_bps"`
+	Background float64 `json:"background_util,omitempty"`
+	PropDelay  float64 `json:"prop_delay_sec,omitempty"`
+}
+
+// ClassSpec describes one message class in a Spec.
+type ClassSpec struct {
+	Name       string   `json:"name"`
+	Rate       float64  `json:"rate_msg_per_sec"`
+	MeanLength float64  `json:"mean_length_bits"`
+	Route      []string `json:"route"`
+	Window     int      `json:"window,omitempty"`
+	AckDelay   float64  `json:"ack_delay_sec,omitempty"`
+}
+
+// ParseSpec decodes and resolves a JSON network spec, returning a
+// validated Network.
+func ParseSpec(data []byte) (*Network, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("netmodel: parsing spec: %w", err)
+	}
+	return s.Resolve()
+}
+
+// Resolve converts the spec's name references into a validated Network.
+func (s *Spec) Resolve() (*Network, error) {
+	n := &Network{Name: s.Name}
+	nodeIdx := make(map[string]int, len(s.Nodes))
+	for i, name := range s.Nodes {
+		if name == "" {
+			return nil, fmt.Errorf("netmodel: node %d has an empty name", i)
+		}
+		if _, dup := nodeIdx[name]; dup {
+			return nil, fmt.Errorf("netmodel: duplicate node name %q", name)
+		}
+		nodeIdx[name] = i
+		n.Nodes = append(n.Nodes, Node{Name: name})
+	}
+	chanIdx := make(map[string]int, len(s.Channels))
+	for i, cs := range s.Channels {
+		if cs.Name == "" {
+			return nil, fmt.Errorf("netmodel: channel %d has an empty name", i)
+		}
+		if _, dup := chanIdx[cs.Name]; dup {
+			return nil, fmt.Errorf("netmodel: duplicate channel name %q", cs.Name)
+		}
+		from, ok := nodeIdx[cs.From]
+		if !ok {
+			return nil, fmt.Errorf("netmodel: channel %q references unknown node %q", cs.Name, cs.From)
+		}
+		to, ok := nodeIdx[cs.To]
+		if !ok {
+			return nil, fmt.Errorf("netmodel: channel %q references unknown node %q", cs.Name, cs.To)
+		}
+		chanIdx[cs.Name] = i
+		n.Channels = append(n.Channels, Channel{
+			Name: cs.Name, From: from, To: to,
+			Capacity: cs.Capacity, Background: cs.Background,
+			PropDelay: cs.PropDelay,
+		})
+	}
+	for _, cl := range s.Classes {
+		route := make([]int, 0, len(cl.Route))
+		for _, chName := range cl.Route {
+			l, ok := chanIdx[chName]
+			if !ok {
+				return nil, fmt.Errorf("netmodel: class %q routes over unknown channel %q", cl.Name, chName)
+			}
+			route = append(route, l)
+		}
+		n.Classes = append(n.Classes, Class{
+			Name:       cl.Name,
+			Rate:       cl.Rate,
+			MeanLength: cl.MeanLength,
+			Route:      route,
+			Window:     cl.Window,
+			AckDelay:   cl.AckDelay,
+		})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ToSpec converts the network back into its wire form (the inverse of
+// Spec.Resolve for valid networks).
+func (n *Network) ToSpec() *Spec {
+	s := &Spec{Name: n.Name}
+	for _, nd := range n.Nodes {
+		s.Nodes = append(s.Nodes, nd.Name)
+	}
+	for _, ch := range n.Channels {
+		s.Channels = append(s.Channels, ChannelSpec{
+			Name:       ch.Name,
+			From:       n.Nodes[ch.From].Name,
+			To:         n.Nodes[ch.To].Name,
+			Capacity:   ch.Capacity,
+			Background: ch.Background,
+			PropDelay:  ch.PropDelay,
+		})
+	}
+	for _, cl := range n.Classes {
+		cs := ClassSpec{
+			Name:       cl.Name,
+			Rate:       cl.Rate,
+			MeanLength: cl.MeanLength,
+			Window:     cl.Window,
+			AckDelay:   cl.AckDelay,
+		}
+		for _, l := range cl.Route {
+			cs.Route = append(cs.Route, n.Channels[l].Name)
+		}
+		s.Classes = append(s.Classes, cs)
+	}
+	return s
+}
+
+// MarshalSpec renders the network as indented JSON.
+func (n *Network) MarshalSpec() ([]byte, error) {
+	return json.MarshalIndent(n.ToSpec(), "", "  ")
+}

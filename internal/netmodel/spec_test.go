@@ -1,0 +1,89 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `{
+  "name": "line3",
+  "nodes": ["a", "b", "c"],
+  "channels": [
+    {"name": "ab", "from": "a", "to": "b", "capacity_bps": 50000},
+    {"name": "bc", "from": "b", "to": "c", "capacity_bps": 25000}
+  ],
+  "classes": [
+    {"name": "c1", "rate_msg_per_sec": 10, "mean_length_bits": 1000,
+     "route": ["ab", "bc"], "window": 3}
+  ]
+}`
+
+func TestParseSpec(t *testing.T) {
+	n, err := ParseSpec([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "line3" || len(n.Nodes) != 3 || len(n.Channels) != 2 || len(n.Classes) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", n)
+	}
+	if n.Classes[0].Window != 3 || n.Classes[0].Route[1] != 1 {
+		t.Errorf("class = %+v", n.Classes[0])
+	}
+	if n.Channels[1].From != 1 || n.Channels[1].To != 2 {
+		t.Errorf("channel bc endpoints = %d,%d", n.Channels[1].From, n.Channels[1].To)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct{ name, body, substr string }{
+		{"bad json", `{`, "parsing spec"},
+		{"unknown node", strings.Replace(sampleSpec, `"from": "a"`, `"from": "zz"`, 1), "unknown node"},
+		{"unknown channel", strings.Replace(sampleSpec, `"route": ["ab", "bc"]`, `"route": ["ab", "zz"]`, 1), "unknown channel"},
+		{"dup node", strings.Replace(sampleSpec, `["a", "b", "c"]`, `["a", "a", "c"]`, 1), "duplicate node"},
+		{"dup channel", strings.Replace(sampleSpec, `"name": "bc"`, `"name": "ab"`, 1), "duplicate channel"},
+		{"empty node name", strings.Replace(sampleSpec, `["a", "b", "c"]`, `["a", "", "c"]`, 1), "empty name"},
+		{"empty channel name", strings.Replace(sampleSpec, `{"name": "ab",`, `{"name": "",`, 1), "empty name"},
+		{"invalid network", strings.Replace(sampleSpec, `"capacity_bps": 50000`, `"capacity_bps": 0`, 1), "capacity"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(c.body)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	orig, err := ParseSpec([]byte(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.MarshalSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("re-parsing marshalled spec: %v", err)
+	}
+	if back.Name != orig.Name || len(back.Channels) != len(orig.Channels) {
+		t.Fatal("round trip changed shape")
+	}
+	for i := range orig.Channels {
+		if orig.Channels[i] != back.Channels[i] {
+			t.Errorf("channel %d: %+v vs %+v", i, orig.Channels[i], back.Channels[i])
+		}
+	}
+	for r := range orig.Classes {
+		a, b := orig.Classes[r], back.Classes[r]
+		if a.Name != b.Name || a.Rate != b.Rate || a.Window != b.Window || len(a.Route) != len(b.Route) {
+			t.Errorf("class %d changed: %+v vs %+v", r, a, b)
+		}
+		for k := range a.Route {
+			if a.Route[k] != b.Route[k] {
+				t.Errorf("class %d route hop %d: %d vs %d", r, k, a.Route[k], b.Route[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestVectorSumDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Sum(); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+func TestVectorScaleAdd(t *testing.T) {
+	v := Vector{1, 2}.Scale(3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Errorf("Scale = %v", v)
+	}
+	v.Add(Vector{1, 1})
+	if v[0] != 4 || v[1] != 7 {
+		t.Errorf("Add = %v", v)
+	}
+}
+
+func TestVectorMax(t *testing.T) {
+	v := Vector{3, 9, 2}
+	best, at := v.Max()
+	if best != 9 || at != 1 {
+		t.Errorf("Max = (%v,%v), want (9,1)", best, at)
+	}
+	var empty Vector
+	best, at = empty.Max()
+	if !math.IsInf(best, -1) || at != -1 {
+		t.Errorf("empty Max = (%v,%v)", best, at)
+	}
+}
+
+func TestVectorDiffs(t *testing.T) {
+	v := Vector{0, 0}
+	w := Vector{3, 4}
+	if got := v.MaxAbsDiff(w); got != 4 {
+		t.Errorf("MaxAbsDiff = %v, want 4", got)
+	}
+	if got := v.L2Diff(w); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("L2Diff = %v, want 5", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if got := m.Row(1); got[2] != 5 {
+		t.Fatal("Row does not alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec(Vector{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Errorf("MulVec = %v, want [17 39]", got)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	// 2x + y = 5 ; x - y = 1 -> x=2, y=1
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, -1)
+	x, err := SolveLinear(a, Vector{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-12) || !almostEqual(x[1], 1, 1e-12) {
+		t.Errorf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, Vector{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 4, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLinear(a, Vector{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveLinearNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveLinear(a, Vector{1, 2}); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+	b := NewMatrix(2, 2)
+	if _, err := SolveLinear(b, Vector{1}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveLinearDoesNotDestroyInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	b := Vector{4, 5}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || a.At(1, 1) != 3 || b[0] != 4 || b[1] != 5 {
+		t.Fatal("SolveLinear mutated its inputs")
+	}
+}
+
+// Property: for random well-conditioned systems, A·x == b after solving.
+func TestSolveLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build a diagonally dominant 4x4 matrix from the seed: always
+		// solvable and well-conditioned.
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(uint64(s)>>11) / float64(1<<53)
+		}
+		const n = 4
+		a := NewMatrix(n, n)
+		b := NewVector(n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := next() - 0.5
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Set(i, i, a.At(i, i)+rowSum+1)
+			b[i] = next()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		return r.MaxAbsDiff(b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

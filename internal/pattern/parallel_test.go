@@ -1,0 +1,99 @@
+package pattern
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestExhaustiveParallelMatchesSerial(t *testing.T) {
+	obj := quadratic(4, 6)
+	serial, err := Exhaustive(obj, numeric.IntVector{1, 1}, numeric.IntVector{9, 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := ExhaustiveParallel(obj, numeric.IntVector{1, 1}, numeric.IntVector{9, 9}, 0, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !par.Best.Equal(serial.Best) || par.BestValue != serial.BestValue {
+			t.Errorf("workers=%d: (%v, %v) vs serial (%v, %v)",
+				workers, par.Best, par.BestValue, serial.Best, serial.BestValue)
+		}
+		if par.Evaluations != serial.Evaluations {
+			t.Errorf("workers=%d: %d evaluations vs %d", workers, par.Evaluations, serial.Evaluations)
+		}
+	}
+}
+
+func TestExhaustiveParallelTieBreak(t *testing.T) {
+	// A flat objective: serial keeps the first lattice point; parallel
+	// must agree.
+	flat := func(x numeric.IntVector) (float64, error) { return 1.0, nil }
+	serial, err := Exhaustive(flat, numeric.IntVector{1, 1}, numeric.IntVector{4, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ExhaustiveParallel(flat, numeric.IntVector{1, 1}, numeric.IntVector{4, 4}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Best.Equal(serial.Best) {
+		t.Errorf("tie-break differs: %v vs %v", par.Best, serial.Best)
+	}
+}
+
+func TestExhaustiveParallelConcurrencyActuallyHappens(t *testing.T) {
+	var calls atomic.Int64
+	obj := func(x numeric.IntVector) (float64, error) {
+		calls.Add(1)
+		return float64(x[0]), nil
+	}
+	res, err := ExhaustiveParallel(obj, numeric.IntVector{1}, numeric.IntVector{100}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 100 || res.Best[0] != 1 {
+		t.Errorf("calls=%d best=%v", calls.Load(), res.Best)
+	}
+}
+
+func TestExhaustiveParallelErrors(t *testing.T) {
+	boom := errors.New("boom")
+	objErr := func(x numeric.IntVector) (float64, error) {
+		if x[0] == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	}
+	if _, err := ExhaustiveParallel(objErr, numeric.IntVector{1}, numeric.IntVector{5}, 0, 2); !errors.Is(err, boom) {
+		t.Errorf("expected boom, got %v", err)
+	}
+	if _, err := ExhaustiveParallel(nil, numeric.IntVector{1}, numeric.IntVector{2}, 0, 2); err == nil {
+		t.Error("expected nil-objective error")
+	}
+	if _, err := ExhaustiveParallel(quadratic(1), numeric.IntVector{3}, numeric.IntVector{1}, 0, 2); err == nil {
+		t.Error("expected empty-box error")
+	}
+	if _, err := ExhaustiveParallel(quadratic(1, 1), numeric.IntVector{1, 1}, numeric.IntVector{500, 500}, 100, 2); err == nil {
+		t.Error("expected size-cap error")
+	}
+	// workers < 2 falls back to serial.
+	res, err := ExhaustiveParallel(quadratic(2), numeric.IntVector{1}, numeric.IntVector{5}, 0, 1)
+	if err != nil || res.Best[0] != 2 {
+		t.Errorf("serial fallback: %v, %v", res, err)
+	}
+}
+
+func TestExhaustiveParallelMoreWorkersThanPoints(t *testing.T) {
+	res, err := ExhaustiveParallel(quadratic(1), numeric.IntVector{1}, numeric.IntVector{3}, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0] != 1 {
+		t.Errorf("Best = %v", res.Best)
+	}
+}

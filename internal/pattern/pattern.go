@@ -1,0 +1,403 @@
+// Package pattern implements the Hooke–Jeeves pattern search (Ch. 4 §4.3)
+// on integer lattices — the direct-search engine inside WINDIM — plus an
+// exhaustive box search used to probe global optimality on small problems
+// (the thesis does this for Fig. 4.9).
+//
+// The search alternates exploratory moves (perturb one coordinate at a
+// time by the current step) and pattern moves (repeat the combined
+// successful move, doubling along established ridges), halving the step
+// when exploration fails, exactly as in the thesis's APL WINDIM program —
+// including its FLOC/FSTR evaluation cache, realised here as a map from
+// lattice points to objective values.
+package pattern
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/numeric"
+)
+
+// Objective evaluates the function to MINIMISE at an integer point.
+// Returning an error aborts the search.
+type Objective func(x numeric.IntVector) (float64, error)
+
+// Options configures the search. The zero value searches with unit
+// initial steps, lower bound 1 in every dimension (windows are at least
+// one message), no upper bound, and KMAX = 2 step halvings.
+type Options struct {
+	// InitialStep gives per-dimension starting steps (>= 1). Nil means
+	// all ones.
+	InitialStep numeric.IntVector
+	// Lo is the per-dimension lower bound (inclusive). Nil means all
+	// ones.
+	Lo numeric.IntVector
+	// Hi is the per-dimension upper bound (inclusive). Nil means
+	// unbounded above.
+	Hi numeric.IntVector
+	// MaxHalvings is the KMAX of the APL program: the search ends after
+	// this many step reductions fail to make progress. < 0 means 0;
+	// 0 is interpreted as the default 2.
+	MaxHalvings int
+	// MaxEvaluations bounds objective calls (cache hits excluded);
+	// <= 0 means 100000.
+	MaxEvaluations int
+}
+
+func (o Options) withDefaults(dim int) (Options, error) {
+	if o.InitialStep == nil {
+		o.InitialStep = numeric.NewIntVector(dim)
+		for i := range o.InitialStep {
+			o.InitialStep[i] = 1
+		}
+	}
+	if o.Lo == nil {
+		o.Lo = numeric.NewIntVector(dim)
+		for i := range o.Lo {
+			o.Lo[i] = 1
+		}
+	}
+	if len(o.InitialStep) != dim || len(o.Lo) != dim || (o.Hi != nil && len(o.Hi) != dim) {
+		return o, fmt.Errorf("pattern: option dimensions do not match start point dimension %d", dim)
+	}
+	for i, s := range o.InitialStep {
+		if s < 1 {
+			return o, fmt.Errorf("pattern: initial step %d at dimension %d; need >= 1", s, i)
+		}
+	}
+	if o.Hi != nil {
+		for i := range o.Hi {
+			if o.Hi[i] < o.Lo[i] {
+				return o, fmt.Errorf("pattern: empty box at dimension %d: [%d, %d]", i, o.Lo[i], o.Hi[i])
+			}
+		}
+	}
+	if o.MaxHalvings == 0 {
+		o.MaxHalvings = 2
+	} else if o.MaxHalvings < 0 {
+		o.MaxHalvings = 0
+	}
+	if o.MaxEvaluations <= 0 {
+		o.MaxEvaluations = 100000
+	}
+	return o, nil
+}
+
+// Result reports the search outcome.
+type Result struct {
+	// Best is the best point found.
+	Best numeric.IntVector
+	// BestValue is the objective at Best.
+	BestValue float64
+	// Evaluations counts real objective calls.
+	Evaluations int
+	// CacheHits counts evaluations answered from the memo table.
+	CacheHits int
+	// BasePoints traces the accepted base points, starting with the
+	// (clamped) start point.
+	BasePoints []numeric.IntVector
+}
+
+// ErrBudget is wrapped in the error returned when MaxEvaluations is
+// exhausted before the search terminates.
+var ErrBudget = errors.New("pattern: evaluation budget exhausted")
+
+type searcher struct {
+	obj    Objective
+	opts   Options
+	cache  map[string]float64
+	result *Result
+}
+
+// eval returns the (memoised) objective at x; out-of-box points are +Inf
+// and never reach the objective.
+func (s *searcher) eval(x numeric.IntVector) (float64, error) {
+	for i := range x {
+		if x[i] < s.opts.Lo[i] || (s.opts.Hi != nil && x[i] > s.opts.Hi[i]) {
+			return math.Inf(1), nil
+		}
+	}
+	key := x.Key()
+	if v, ok := s.cache[key]; ok {
+		s.result.CacheHits++
+		return v, nil
+	}
+	if s.result.Evaluations >= s.opts.MaxEvaluations {
+		return 0, fmt.Errorf("%w (%d evaluations)", ErrBudget, s.result.Evaluations)
+	}
+	s.result.Evaluations++
+	v, err := s.obj(x.Clone())
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) {
+		v = math.Inf(1)
+	}
+	s.cache[key] = v
+	return v, nil
+}
+
+// explore performs one exploratory pass about x (value fx): each
+// coordinate in turn is increased then decreased by its step, keeping any
+// strict improvement. It returns the final point and value.
+func (s *searcher) explore(x numeric.IntVector, fx float64, step numeric.IntVector) (numeric.IntVector, float64, error) {
+	cur := x.Clone()
+	for i := range cur {
+		orig := cur[i]
+		cur[i] = orig + step[i]
+		fp, err := s.eval(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if fp < fx {
+			fx = fp
+			continue
+		}
+		cur[i] = orig - step[i]
+		fm, err := s.eval(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if fm < fx {
+			fx = fm
+			continue
+		}
+		cur[i] = orig
+	}
+	return cur, fx, nil
+}
+
+// Search minimises the objective starting from start.
+func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, error) {
+	if obj == nil {
+		return nil, errors.New("pattern: nil objective")
+	}
+	if len(start) == 0 {
+		return nil, errors.New("pattern: empty start point")
+	}
+	opts, err := opts.withDefaults(len(start))
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{obj: obj, opts: opts, cache: make(map[string]float64), result: &Result{}}
+
+	// Clamp the start into the box.
+	base := start.Clone()
+	for i := range base {
+		if base[i] < opts.Lo[i] {
+			base[i] = opts.Lo[i]
+		}
+		if opts.Hi != nil && base[i] > opts.Hi[i] {
+			base[i] = opts.Hi[i]
+		}
+	}
+	fBase, err := s.eval(base)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(fBase, 1) {
+		return nil, errors.New("pattern: objective is +Inf at the start point")
+	}
+	s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+
+	step := opts.InitialStep.Clone()
+	halvings := 0
+	for {
+		cand, fCand, err := s.explore(base, fBase, step)
+		if err != nil {
+			return nil, err
+		}
+		if fCand < fBase {
+			// Pattern phase: repeat the combined move, exploring about
+			// each projected point (Fig. 4.3/4.4).
+			prev := base
+			base, fBase = cand, fCand
+			s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+			for {
+				probe := base.Clone()
+				for i := range probe {
+					probe[i] += base[i] - prev[i]
+				}
+				fProbe, err := s.eval(probe)
+				if err != nil {
+					return nil, err
+				}
+				cand2, fCand2, err := s.explore(probe, fProbe, step)
+				if err != nil {
+					return nil, err
+				}
+				if fCand2 < fBase {
+					prev = base
+					base, fBase = cand2, fCand2
+					s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+					continue
+				}
+				break
+			}
+			continue
+		}
+		// Exploration failed: halve the step (integer floor at 1) and
+		// count the reduction, as the APL program's K counter does.
+		if halvings >= opts.MaxHalvings {
+			break
+		}
+		halvings++
+		for i := range step {
+			if step[i] > 1 {
+				step[i] /= 2
+			}
+		}
+	}
+	s.result.Best = base
+	s.result.BestValue = fBase
+	return s.result, nil
+}
+
+// ExhaustiveParallel evaluates the objective at every point of the box
+// [lo, hi] across the given number of worker goroutines and returns the
+// minimiser (ties broken by lattice order, matching Exhaustive). The
+// objective must be safe for concurrent use — the analytic evaluators in
+// this repository are pure functions of their arguments, so WINDIM's
+// objectives qualify. workers < 2 falls back to the serial Exhaustive.
+func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, workers int) (*Result, error) {
+	if workers < 2 {
+		return Exhaustive(obj, lo, hi, maxPoints)
+	}
+	if obj == nil {
+		return nil, errors.New("pattern: nil objective")
+	}
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return nil, fmt.Errorf("pattern: box dimensions %d vs %d", len(lo), len(hi))
+	}
+	if maxPoints <= 0 {
+		maxPoints = 1 << 20
+	}
+	span := numeric.NewIntVector(len(lo))
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("pattern: empty box at dimension %d", i)
+		}
+		span[i] = hi[i] - lo[i]
+	}
+	if _, err := numeric.LatticeSize(span, maxPoints); err != nil {
+		return nil, fmt.Errorf("pattern: exhaustive box too large: %w", err)
+	}
+	var points []numeric.IntVector
+	numeric.LatticeWalk(span, func(p numeric.IntVector) {
+		x := p.Clone()
+		for i := range x {
+			x[i] += lo[i]
+		}
+		points = append(points, x)
+	})
+
+	type partial struct {
+		best    numeric.IntVector
+		bestVal float64
+		bestIdx int
+		err     error
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(points) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > len(points) {
+			end = len(points)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.bestVal = math.Inf(1)
+			p.bestIdx = -1
+			for i := start; i < end; i++ {
+				v, err := obj(points[i])
+				if err != nil {
+					p.err = err
+					return
+				}
+				if v < p.bestVal {
+					p.bestVal = v
+					p.best = points[i]
+					p.bestIdx = i
+				}
+			}
+		}(w, start, end)
+	}
+	wg.Wait()
+	res := &Result{BestValue: math.Inf(1), Evaluations: len(points)}
+	bestIdx := -1
+	for w := range parts {
+		if parts[w].err != nil {
+			return nil, parts[w].err
+		}
+		// Strict improvement, or equal value at an earlier lattice index,
+		// reproduces the serial tie-break.
+		if parts[w].bestIdx >= 0 &&
+			(parts[w].bestVal < res.BestValue ||
+				(parts[w].bestVal == res.BestValue && parts[w].bestIdx < bestIdx)) {
+			res.BestValue = parts[w].bestVal
+			res.Best = parts[w].best
+			bestIdx = parts[w].bestIdx
+		}
+	}
+	return res, nil
+}
+
+// Exhaustive evaluates the objective at every point of the box [lo, hi]
+// and returns the minimiser. Intended for global-optimality probes on
+// small boxes; the number of points is capped at maxPoints (<= 0 means
+// 1e6).
+func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result, error) {
+	if obj == nil {
+		return nil, errors.New("pattern: nil objective")
+	}
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return nil, fmt.Errorf("pattern: box dimensions %d vs %d", len(lo), len(hi))
+	}
+	if maxPoints <= 0 {
+		maxPoints = 1 << 20
+	}
+	span := numeric.NewIntVector(len(lo))
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("pattern: empty box at dimension %d", i)
+		}
+		span[i] = hi[i] - lo[i]
+	}
+	if _, err := numeric.LatticeSize(span, maxPoints); err != nil {
+		return nil, fmt.Errorf("pattern: exhaustive box too large: %w", err)
+	}
+	res := &Result{BestValue: math.Inf(1)}
+	var firstErr error
+	numeric.LatticeWalk(span, func(p numeric.IntVector) {
+		if firstErr != nil {
+			return
+		}
+		x := p.Clone()
+		for i := range x {
+			x[i] += lo[i]
+		}
+		res.Evaluations++
+		v, err := obj(x)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if v < res.BestValue {
+			res.BestValue = v
+			res.Best = x
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

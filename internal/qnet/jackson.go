@@ -1,0 +1,177 @@
+package qnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// OpenNetwork is an open Jackson network (Ch. 3 §3.3.2): stations with
+// exponential servers, exogenous Poisson arrivals, Markovian routing.
+type OpenNetwork struct {
+	Stations []Station
+	// Exogenous[i] is the external Poisson arrival rate gamma_i at
+	// station i (customers/second).
+	Exogenous numeric.Vector
+	// Routing[i][j] is the probability of proceeding to station j after
+	// service at station i; the residual 1 - sum_j Routing[i][j] is the
+	// departure probability.
+	Routing *numeric.Matrix
+	// ServTime[i] is the mean service time at station i.
+	ServTime numeric.Vector
+}
+
+// OpenStationResult carries the per-station solution of an open network.
+type OpenStationResult struct {
+	// Lambda is the total (exogenous + internal) arrival rate.
+	Lambda float64
+	// Utilization is lambda * s / m for an m-server station, or the
+	// offered load lambda*s for IS.
+	Utilization float64
+	// MeanQueue is the mean number of customers at the station, in queue
+	// and in service.
+	MeanQueue float64
+	// MeanTime is the mean sojourn time (wait + service).
+	MeanTime float64
+}
+
+// OpenResult is the solution of an open Jackson network.
+type OpenResult struct {
+	PerStation []OpenStationResult
+	// Throughput is the total exogenous arrival rate (== departure rate
+	// in steady state).
+	Throughput float64
+	// MeanDelay is the mean end-to-end time in the network per customer
+	// (Little's law over the whole network).
+	MeanDelay float64
+}
+
+// ErrUnstable is wrapped in the error returned by SolveOpen when some
+// station's utilisation is >= 1 (Ch. 3 §3.2.5).
+var ErrUnstable = fmt.Errorf("qnet: open network is unstable")
+
+// SolveOpen solves the open Jackson network: traffic equations (3.1), then
+// per-station M/M/m results, then the product-form joint solution's
+// network-wide measures.
+func (o *OpenNetwork) SolveOpen() (*OpenResult, error) {
+	n := len(o.Stations)
+	if n == 0 {
+		return nil, ErrNoStations
+	}
+	if len(o.Exogenous) != n || len(o.ServTime) != n {
+		return nil, fmt.Errorf("qnet: open network dimension mismatch (%d stations, %d exogenous, %d service times)",
+			n, len(o.Exogenous), len(o.ServTime))
+	}
+	if o.Routing == nil || o.Routing.Rows != n || o.Routing.Cols != n {
+		return nil, fmt.Errorf("qnet: open network routing matrix must be %dx%d", n, n)
+	}
+	for i := 0; i < n; i++ {
+		if o.Exogenous[i] < 0 {
+			return nil, fmt.Errorf("qnet: negative exogenous rate at station %d", i)
+		}
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			v := o.Routing.At(i, j)
+			if v < 0 {
+				return nil, fmt.Errorf("qnet: negative routing probability P[%d][%d]", i, j)
+			}
+			sum += v
+		}
+		if sum > 1+1e-9 {
+			return nil, fmt.Errorf("qnet: routing row %d sums to %v > 1", i, sum)
+		}
+	}
+	// Traffic equations: lambda = gamma + P^T lambda.
+	a := numeric.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -o.Routing.At(j, i)
+			if i == j {
+				v++
+			}
+			a.Set(i, j, v)
+		}
+	}
+	lambda, err := numeric.SolveLinear(a, o.Exogenous)
+	if err != nil {
+		return nil, fmt.Errorf("qnet: open traffic equations: %w", err)
+	}
+	res := &OpenResult{PerStation: make([]OpenStationResult, n)}
+	totalQueue := 0.0
+	for i := 0; i < n; i++ {
+		st := &o.Stations[i]
+		li := lambda[i]
+		if li < 0 {
+			if li > -1e-12 {
+				li = 0
+			} else {
+				return nil, fmt.Errorf("qnet: negative arrival rate %v at station %d", li, i)
+			}
+		}
+		s := o.ServTime[i]
+		if li > 0 && s <= 0 {
+			return nil, fmt.Errorf("qnet: station %d visited with non-positive service time %v", i, s)
+		}
+		r := &res.PerStation[i]
+		r.Lambda = li
+		if li == 0 {
+			continue
+		}
+		switch {
+		case st.Kind == IS:
+			r.Utilization = li * s
+			r.MeanQueue = li * s
+			r.MeanTime = s
+		default:
+			m := st.Servers
+			if m < 1 {
+				m = 1
+			}
+			rho := li * s / float64(m)
+			r.Utilization = rho
+			if rho >= 1 {
+				return nil, fmt.Errorf("%w: station %d (%s) has utilisation %.4f",
+					ErrUnstable, i, st.Name, rho)
+			}
+			if m == 1 {
+				r.MeanQueue = rho / (1 - rho)
+			} else {
+				// M/M/m via Erlang-C.
+				c := erlangC(m, li*s)
+				r.MeanQueue = float64(m)*rho + c*rho/(1-rho)
+			}
+			r.MeanTime = r.MeanQueue / li
+		}
+		totalQueue += r.MeanQueue
+	}
+	res.Throughput = o.Exogenous.Sum()
+	if res.Throughput > 0 {
+		res.MeanDelay = totalQueue / res.Throughput
+	}
+	return res, nil
+}
+
+// erlangC returns the Erlang-C probability of queueing for an M/M/m queue
+// with offered load a = lambda*s (requires a/m < 1).
+func erlangC(m int, a float64) float64 {
+	// Iterative Erlang-B then convert: B(0)=1; B(k) = a*B(k-1)/(k+a*B(k-1)).
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(m)
+	return b / (1 - rho + rho*b)
+}
+
+// MM1MeanQueue returns the M/M/1 mean number in system at utilisation rho.
+// It returns +Inf for rho >= 1.
+func MM1MeanQueue(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho < 0 {
+		return 0
+	}
+	return rho / (1 - rho)
+}

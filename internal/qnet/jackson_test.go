@@ -1,0 +1,158 @@
+package qnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// singleMM1 builds an open network that is a lone M/M/1 queue.
+func singleMM1(lambda, s float64) *OpenNetwork {
+	return &OpenNetwork{
+		Stations:  []Station{{Name: "q"}},
+		Exogenous: numeric.Vector{lambda},
+		Routing:   numeric.NewMatrix(1, 1),
+		ServTime:  numeric.Vector{s},
+	}
+}
+
+func TestSolveOpenMM1(t *testing.T) {
+	// lambda = 2, mu = 5 -> rho = 0.4, N = 2/3, T = 1/3.
+	res, err := singleMM1(2, 0.2).SolveOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.PerStation[0]
+	if math.Abs(st.Utilization-0.4) > 1e-12 {
+		t.Errorf("rho = %v", st.Utilization)
+	}
+	if math.Abs(st.MeanQueue-2.0/3.0) > 1e-12 {
+		t.Errorf("N = %v", st.MeanQueue)
+	}
+	if math.Abs(st.MeanTime-1.0/3.0) > 1e-12 {
+		t.Errorf("T = %v", st.MeanTime)
+	}
+	if math.Abs(res.MeanDelay-1.0/3.0) > 1e-12 {
+		t.Errorf("network delay = %v", res.MeanDelay)
+	}
+	if res.Throughput != 2 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+}
+
+func TestSolveOpenUnstable(t *testing.T) {
+	_, err := singleMM1(6, 0.2).SolveOpen()
+	if !errors.Is(err, ErrUnstable) {
+		t.Fatalf("expected ErrUnstable, got %v", err)
+	}
+}
+
+func TestSolveOpenTandem(t *testing.T) {
+	// Two M/M/1 queues in tandem; delay adds.
+	o := &OpenNetwork{
+		Stations:  []Station{{Name: "a"}, {Name: "b"}},
+		Exogenous: numeric.Vector{3, 0},
+		Routing:   numeric.NewMatrix(2, 2),
+		ServTime:  numeric.Vector{0.1, 0.2},
+	}
+	o.Routing.Set(0, 1, 1)
+	res, err := o.SolveOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PerStation[1].Lambda-3) > 1e-12 {
+		t.Errorf("lambda_b = %v", res.PerStation[1].Lambda)
+	}
+	wantDelay := 0.1/(1-0.3) + 0.2/(1-0.6)
+	if math.Abs(res.MeanDelay-wantDelay) > 1e-12 {
+		t.Errorf("delay = %v, want %v", res.MeanDelay, wantDelay)
+	}
+}
+
+func TestSolveOpenFeedback(t *testing.T) {
+	// One queue with feedback probability 0.5: effective lambda doubles.
+	o := singleMM1(1, 0.2)
+	o.Routing.Set(0, 0, 0.5)
+	res, err := o.SolveOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PerStation[0].Lambda-2) > 1e-9 {
+		t.Errorf("lambda = %v, want 2", res.PerStation[0].Lambda)
+	}
+}
+
+func TestSolveOpenIS(t *testing.T) {
+	o := singleMM1(4, 0.5)
+	o.Stations[0].Kind = IS
+	res, err := o.SolveOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.PerStation[0]
+	if math.Abs(st.MeanQueue-2) > 1e-12 || math.Abs(st.MeanTime-0.5) > 1e-12 {
+		t.Errorf("IS N=%v T=%v, want 2, 0.5", st.MeanQueue, st.MeanTime)
+	}
+}
+
+func TestSolveOpenMM2(t *testing.T) {
+	// M/M/2 with lambda = 3, s = 0.5 => a = 1.5, rho = 0.75.
+	// Exact: P_queue (Erlang C) = (a^2/2!)/( (1-rho)(1 + a) + a^2/2 ) ... use known value.
+	o := singleMM1(3, 0.5)
+	o.Stations[0].Servers = 2
+	res, err := o.SolveOpen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.PerStation[0]
+	// Erlang-C for m=2, a=1.5: C = a^2/(2!(1-rho)) / (1 + a + a^2/(2!(1-rho)))
+	c := (1.5 * 1.5 / (2 * 0.25)) / (1 + 1.5 + 1.5*1.5/(2*0.25))
+	wantN := 1.5 + c*0.75/0.25
+	if math.Abs(st.MeanQueue-wantN) > 1e-9 {
+		t.Errorf("M/M/2 N = %v, want %v", st.MeanQueue, wantN)
+	}
+}
+
+func TestSolveOpenValidation(t *testing.T) {
+	empty := &OpenNetwork{}
+	if _, err := empty.SolveOpen(); err == nil {
+		t.Error("expected error for empty network")
+	}
+	o := singleMM1(1, 0.1)
+	o.Exogenous = numeric.Vector{1, 2}
+	if _, err := o.SolveOpen(); err == nil {
+		t.Error("expected dimension error")
+	}
+	o2 := singleMM1(-1, 0.1)
+	if _, err := o2.SolveOpen(); err == nil {
+		t.Error("expected negative-rate error")
+	}
+	o3 := singleMM1(1, 0.1)
+	o3.Routing.Set(0, 0, 1.5)
+	if _, err := o3.SolveOpen(); err == nil {
+		t.Error("expected row-sum error")
+	}
+}
+
+func TestMM1MeanQueue(t *testing.T) {
+	if got := MM1MeanQueue(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MM1MeanQueue(0.5) = %v", got)
+	}
+	if !math.IsInf(MM1MeanQueue(1), 1) {
+		t.Error("MM1MeanQueue(1) should be +Inf")
+	}
+	if got := MM1MeanQueue(-0.1); got != 0 {
+		t.Errorf("MM1MeanQueue(-0.1) = %v", got)
+	}
+}
+
+func TestErlangCLimits(t *testing.T) {
+	// m=1: Erlang C equals rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := erlangC(1, rho); math.Abs(got-rho) > 1e-12 {
+			t.Errorf("erlangC(1, %v) = %v", rho, got)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package qnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateOpenLoad(t *testing.T) {
+	n := twoStationNet()
+	n.Stations[0].OpenLoad = 0.5
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid open load rejected: %v", err)
+	}
+	n.Stations[0].OpenLoad = 1.0
+	if err := n.Validate(); err == nil {
+		t.Error("expected error for open load 1")
+	}
+	n.Stations[0].OpenLoad = -0.1
+	if err := n.Validate(); err == nil {
+		t.Error("expected error for negative open load")
+	}
+	n.Stations[0].OpenLoad = 0.5
+	n.Stations[0].Servers = 2
+	if err := n.Validate(); err == nil {
+		t.Error("expected error for open load on a queue-dependent station")
+	}
+	// IS stations accept open load (it is a no-op).
+	m := twoStationNet()
+	m.Stations[0].Kind = IS
+	m.Stations[0].OpenLoad = 0.5
+	if err := m.Validate(); err != nil {
+		t.Errorf("IS open load rejected: %v", err)
+	}
+}
+
+func TestEffectiveClosedNoOp(t *testing.T) {
+	n := twoStationNet()
+	if got := n.EffectiveClosed(); got != n {
+		t.Error("pure closed network should be returned unchanged")
+	}
+}
+
+func TestEffectiveClosedInflation(t *testing.T) {
+	n := twoStationNet() // service times 0.5, 0.25
+	n.Stations[0].OpenLoad = 0.5
+	eff := n.EffectiveClosed()
+	if eff == n {
+		t.Fatal("mixed network should be copied")
+	}
+	if got := eff.Chains[0].ServTime[0]; math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("inflated service time = %v, want 1.0", got)
+	}
+	if got := eff.Chains[0].ServTime[1]; got != 0.25 {
+		t.Errorf("unloaded station's service time changed: %v", got)
+	}
+	if eff.Stations[0].OpenLoad != 0 {
+		t.Error("effective network still carries open load")
+	}
+	// Original untouched.
+	if n.Chains[0].ServTime[0] != 0.5 || n.Stations[0].OpenLoad != 0.5 {
+		t.Error("EffectiveClosed mutated its receiver")
+	}
+}
+
+func TestEffectiveClosedISUntouched(t *testing.T) {
+	n := twoStationNet()
+	n.Stations[0].Kind = IS
+	n.Stations[0].OpenLoad = 0.5
+	n.Stations[1].OpenLoad = 0.2
+	eff := n.EffectiveClosed()
+	if eff.Chains[0].ServTime[0] != 0.5 {
+		t.Errorf("IS service time inflated: %v", eff.Chains[0].ServTime[0])
+	}
+	if math.Abs(eff.Chains[0].ServTime[1]-0.25/0.8) > 1e-12 {
+		t.Errorf("FCFS service time = %v", eff.Chains[0].ServTime[1])
+	}
+}

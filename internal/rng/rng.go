@@ -1,0 +1,198 @@
+// Package rng provides deterministic pseudo-random streams for the
+// discrete-event simulator.
+//
+// The generator is PCG-XSH-RR (O'Neill 2014), implemented locally so that
+// simulation runs are reproducible across Go versions: the standard
+// library reserves the right to change math/rand's sequence, which would
+// silently move every regression baseline in this repository.
+//
+// Each simulation entity (per-class arrival process, per-link service
+// process, ...) draws from its own Stream, derived from a master seed by
+// SplitMix64 so that changing one entity's consumption pattern does not
+// perturb any other entity's variates (common random numbers).
+package rng
+
+import "math"
+
+// Stream is a single deterministic PCG-32 random stream.
+// The zero value is NOT usable; construct with New or Split.
+type Stream struct {
+	state uint64
+	inc   uint64 // stream selector, always odd
+	seed  uint64 // construction seed, kept so Split can derive children
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a stream seeded from seed with the default sequence
+// selector.
+func New(seed uint64) *Stream {
+	return NewSeq(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewSeq returns a stream seeded from seed on sequence seq. Distinct seq
+// values give statistically independent streams for the same seed.
+func NewSeq(seed, seq uint64) *Stream {
+	s := &Stream{inc: seq<<1 | 1, seed: seed}
+	s.state = 0
+	s.next() // advance past the all-zeros state per PCG reference init
+	s.state += seed
+	s.next()
+	return s
+}
+
+// Split derives the i-th child stream. Children of the same parent with
+// distinct indices are independent; splitting does not perturb the parent
+// and does not depend on how much of the parent has been consumed.
+func (s *Stream) Split(i uint64) *Stream {
+	// SplitMix64 over (seed, inc, i) gives seed and sequence for the
+	// child.
+	h := splitMix64(s.seed ^ splitMix64(s.inc) ^ splitMix64(^i))
+	return NewSeq(h, splitMix64(h+i))
+}
+
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next advances the PCG state and returns 32 output bits.
+func (s *Stream) next() uint32 {
+	old := s.state
+	s.state = old*pcgMult + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	return uint64(s.next())<<32 | uint64(s.next())
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics if rate <= 0: a non-positive rate is always a caller bug in
+// this codebase (a zero-capacity channel must be rejected at model
+// validation, long before sampling).
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires rate > 0")
+	}
+	// 1-Float64 avoids log(0).
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn requires n > 0")
+	}
+	// Lemire's nearly-divisionless bounded rejection on 32 bits when the
+	// bound fits, otherwise modulo on 64 bits (n never approaches 2^63 in
+	// this repository, so bias is negligible there).
+	if n <= 1<<31-1 {
+		bound := uint32(n)
+		for {
+			v := s.next()
+			prod := uint64(v) * uint64(bound)
+			low := uint32(prod)
+			if low >= bound || low >= uint32(-bound)%bound {
+				return int(prod >> 32)
+			}
+		}
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means
+// it uses Knuth's product method; for large means, the normal
+// approximation with continuity correction (adequate for workload
+// generation, where mean > 30 variates are bulk counts).
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		limit := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	v := mean + math.Sqrt(mean)*s.Normal() + 0.5
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// Normal returns a standard normal variate (Marsaglia polar method).
+func (s *Stream) Normal() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Choose returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if the weights are empty, any is
+// negative, or all are zero; routing probability rows are validated at
+// model construction so this is a programmer-error guard.
+func (s *Stream) Choose(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight at index " + itoa(i))
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("rng: Choose requires a positive total weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // floating-point tail
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		b[p] = '-'
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,236 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds agree on %d/100 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c0 := parent.Split(0)
+	c1 := parent.Split(1)
+	// Children must differ from each other.
+	diff := false
+	for i := 0; i < 32; i++ {
+		if c0.Uint64() != c1.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("sibling child streams are identical")
+	}
+	// Splitting must not perturb the parent.
+	p1 := New(7)
+	_ = p1.Split(0)
+	p2 := New(7)
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatal("Split perturbed the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		x := s.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", x)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(s.Float64()*10)]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(5)
+	const n = 500000
+	rate := 4.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Exp(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Errorf("Exp mean = %v, want 0.25", mean)
+	}
+	if math.Abs(variance-0.0625) > 0.005 {
+		t.Errorf("Exp variance = %v, want 0.0625", variance)
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate <= 0")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	s := New(9)
+	var counts [7]int
+	const n = 140000
+	for i := 0; i < n; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/7) > 0.01 {
+			t.Errorf("Intn bucket %d fraction %v", i, frac)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 60} {
+		s := New(uint64(100 * mean))
+		const n = 200000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(s.Poisson(mean))
+			sum += x
+			sumSq += x * x
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.08*mean+0.05 {
+			t.Errorf("Poisson(%v) variance = %v", mean, v)
+		}
+	}
+	if got := New(1).Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	if got := New(1).Poisson(-1); got != 0 {
+		t.Errorf("Poisson(-1) = %d", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Normal variance = %v", variance)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	s := New(21)
+	weights := []float64{1, 0, 3}
+	var counts [3]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Choose(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight branch chosen %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Errorf("branch 0 fraction = %v, want 0.25", frac0)
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for weights %v", weights)
+				}
+			}()
+			New(1).Choose(weights)
+		}()
+	}
+}
+
+// Property: Intn is always within bounds for any positive n and seed.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+// The §3.3.3 mixed-network reduction, end to end: a channel carrying 40%
+// uncontrolled cross-traffic is analytically equivalent to inflating the
+// windowed classes' service there by 1/0.6. The simulator injects the
+// cross-traffic explicitly; analytic and simulated closed-chain measures
+// must agree.
+func TestBackgroundTrafficMatchesMixedAnalysis(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	n.Channels[topo.ChWT].Background = 0.4 // the shared channel
+	w := numeric.IntVector{4, 4}
+	analytic := evaluateExact(t, n, w)
+	res, err := Run(n, Config{Windows: w, Duration: 20000, Warmup: 2000, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Throughput-analytic.Throughput) / analytic.Throughput; rel > 0.03 {
+		t.Errorf("throughput %v vs mixed-model %v (rel %v)", res.Throughput, analytic.Throughput, rel)
+	}
+	if rel := math.Abs(res.Delay-analytic.Delay) / analytic.Delay; rel > 0.06 {
+		t.Errorf("delay %v vs mixed-model %v (rel %v)", res.Delay, analytic.Delay, rel)
+	}
+	// The loaded channel's utilisation includes the background share.
+	if res.ChannelUtilization[topo.ChWT] < 0.4 {
+		t.Errorf("shared channel utilisation %v below its background load", res.ChannelUtilization[topo.ChWT])
+	}
+}
+
+func TestBackgroundTrafficReducesThroughput(t *testing.T) {
+	clean := topo.Canada2Class(25, 25)
+	loaded := topo.Canada2Class(25, 25)
+	for l := range loaded.Channels {
+		loaded.Channels[l].Background = 0.3
+	}
+	w := numeric.IntVector{3, 3}
+	cfg := Config{Windows: w, Duration: 3000, Warmup: 300, Seed: 23}
+	a, err := Run(clean, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Throughput >= a.Throughput {
+		t.Errorf("background load did not reduce throughput: %v vs %v", b.Throughput, a.Throughput)
+	}
+	if b.Delay <= a.Delay {
+		t.Errorf("background load did not increase delay: %v vs %v", b.Delay, a.Delay)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	n.Channels[0].Background = 1.2
+	if _, err := Run(n, Config{Windows: numeric.IntVector{1, 1}, Duration: 10}); err == nil {
+		t.Fatal("expected validation error for background >= 1")
+	}
+}
+
+// Background messages never enter node buffers: conservation still holds.
+func TestBackgroundConservation(t *testing.T) {
+	n := topo.Canada2Class(30, 30)
+	n.Channels[topo.ChEW].Background = 0.5
+	windows := numeric.IntVector{3, 3}
+	s, err := newState(n, Config{Duration: 300, Warmup: 0, Seed: 29, Batches: 20}, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.sanity(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+// event is a scheduled simulation event.
+type event struct {
+	at   float64 // simulated time, seconds
+	seq  uint64  // tie-break: FIFO among simultaneous events
+	kind eventKind
+	// class is the class index for arrival events; channel the channel
+	// index for completion events; msg the in-flight message for
+	// propagation arrivals.
+	class   int
+	channel int
+	msg     *message
+}
+
+type eventKind uint8
+
+const (
+	evArrival    eventKind = iota // next exogenous message of a class
+	evCompletion                  // channel finishes transmitting its head
+	evAck                         // end-to-end acknowledgement reaches the source
+	evBackground                  // next uncontrolled cross-traffic message on a channel
+	evPropArrive                  // an in-flight message reaches the next node
+	evBurstFlip                   // an on-off source toggles state
+)
+
+// eventQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap
+// (rather than container/heap) keeps the hot push/pop path free of
+// interface conversions; the simulator spends most of its time here.
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) push(at float64, kind eventKind, class, channel int) {
+	q.pushMsg(at, kind, class, channel, nil)
+}
+
+func (q *eventQueue) pushMsg(at float64, kind eventKind, class, channel int, m *message) {
+	q.seq++
+	e := event{at: at, seq: q.seq, kind: kind, class: class, channel: channel, msg: m}
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) empty() bool { return len(q.items) == 0 }
+
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.items) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+	"repro/internal/topo"
+)
+
+// satellite1 returns a single-hop network whose channel has the given
+// propagation delay.
+func satellite1(rate, propDelay float64) *netmodel.Network {
+	n, err := topo.Tandem(1, 50000, rate, 1000)
+	if err != nil {
+		panic(err)
+	}
+	n.Channels[0].PropDelay = propDelay
+	return n
+}
+
+func TestPropDelayMatchesAnalyticModel(t *testing.T) {
+	// The closed-chain model adds an IS station per delayed channel; by
+	// BCMP insensitivity the simulator's deterministic flight time
+	// agrees with the analytic exponential station.
+	n := satellite1(30, 0.27)
+	n.Classes[0].Window = 16
+	w := numeric.IntVector{16}
+	analytic := evaluateExact(t, n, w)
+	res, err := Run(n, Config{Windows: w, Duration: 20000, Warmup: 2000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Throughput-analytic.Throughput) / analytic.Throughput; rel > 0.02 {
+		t.Errorf("throughput %v vs analytic %v (rel %v)", res.Throughput, analytic.Throughput, rel)
+	}
+	if rel := math.Abs(res.Delay-analytic.Delay) / analytic.Delay; rel > 0.05 {
+		t.Errorf("delay %v vs analytic %v (rel %v)", res.Delay, analytic.Delay, rel)
+	}
+	// Delay includes the flight time.
+	if res.Delay < 0.27 {
+		t.Errorf("delay %v below the propagation delay", res.Delay)
+	}
+}
+
+func TestPropDelayThrottlesSmallWindows(t *testing.T) {
+	// Window 1 over a satellite hop: at most one message per
+	// (transmission + flight + nothing) cycle — the classic
+	// bandwidth-delay-product starvation.
+	n := satellite1(40, 0.27)
+	res, err := Run(n, Config{Windows: numeric.IntVector{1}, Duration: 4000, Warmup: 400, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle >= 0.02 (transmission) + 0.27 (flight); with the source's
+	// exponential gaps the rate is well under 1/0.29.
+	if res.Throughput > 1/0.29 {
+		t.Errorf("throughput %v exceeds the window-1 ceiling", res.Throughput)
+	}
+	// A window covering the bandwidth-delay product restores throughput.
+	big, err := Run(n, Config{Windows: numeric.IntVector{20}, Duration: 4000, Warmup: 400, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Throughput < 5*res.Throughput {
+		t.Errorf("large window %v vs window-1 %v lacks the expected gap", big.Throughput, res.Throughput)
+	}
+}
+
+func TestPropDelayRejectsFiniteBuffers(t *testing.T) {
+	n := satellite1(10, 0.1)
+	_, err := Run(n, Config{
+		Windows: numeric.IntVector{2}, Duration: 10,
+		NodeBuffers: []int{2, 2},
+	})
+	if err == nil || !strings.Contains(err.Error(), "propagation delay") {
+		t.Fatalf("expected prop-delay/buffer conflict, got %v", err)
+	}
+	// All-infinite buffers are fine.
+	if _, err := Run(n, Config{
+		Windows: numeric.IntVector{2}, Duration: 10,
+		NodeBuffers: []int{0, 0},
+	}); err != nil {
+		t.Fatalf("infinite buffers should be allowed: %v", err)
+	}
+}
+
+func TestPropDelayValidation(t *testing.T) {
+	n := satellite1(10, -0.1)
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected validation error for negative propagation delay")
+	}
+}
+
+func TestPropDelayClosedModelShape(t *testing.T) {
+	n := satellite1(10, 0.27)
+	model, excluded, err := n.ClosedModel(numeric.IntVector{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 channel + 1 source + 1 prop station.
+	if model.N() != 3 {
+		t.Fatalf("stations = %d, want 3", model.N())
+	}
+	// Only the source is excluded from the delay; the prop station
+	// counts as network transit time.
+	if len(excluded[0]) != 1 {
+		t.Errorf("excluded = %v", excluded)
+	}
+	if model.Stations[2].Kind != qnet.IS {
+		t.Errorf("prop station kind = %v", model.Stations[2].Kind)
+	}
+	if model.Chains[0].ServTime[2] != 0.27 {
+		t.Errorf("prop service time = %v", model.Chains[0].ServTime[2])
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+func TestLengthCVValidation(t *testing.T) {
+	n := tandem1(10)
+	if _, err := Run(n, Config{Duration: 10, LengthCV: -1}); err == nil {
+		t.Error("expected error for negative CV")
+	}
+	if _, err := Run(n, Config{Duration: 10, LengthCV: math.Inf(1)}); err == nil {
+		t.Error("expected error for infinite CV")
+	}
+	if _, err := Run(n, Config{Duration: 10, Burstiness: 0.5}); err == nil {
+		t.Error("expected error for burstiness in (0,1)")
+	}
+	if _, err := Run(n, Config{Duration: 10, BurstOn: -1}); err == nil {
+		t.Error("expected error for negative BurstOn")
+	}
+}
+
+func TestDeterministicLengthsReduceDelay(t *testing.T) {
+	// M/D/1 waits are half of M/M/1 waits: with no window limit and
+	// rho = 0.5, deterministic lengths must cut the queueing delay.
+	n := tandem1(25)
+	n.Classes[0].Window = 0
+	expo, err := Run(n, Config{Duration: 8000, Warmup: 800, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Run(n, Config{Duration: 8000, Warmup: 800, Seed: 41, LengthCV: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1: T = 0.04; M/D/1: T = s + rho*s/(2(1-rho)) = 0.02 + 0.01 = 0.03.
+	if math.Abs(expo.Delay-0.04) > 0.004 {
+		t.Errorf("exponential delay %v, want ~0.04", expo.Delay)
+	}
+	if math.Abs(det.Delay-0.03) > 0.003 {
+		t.Errorf("deterministic delay %v, want ~0.03 (M/D/1)", det.Delay)
+	}
+}
+
+func TestHyperexponentialLengthsIncreaseDelay(t *testing.T) {
+	// M/G/1: W = lambda E[S^2] / (2(1-rho)); CV 2 means E[S^2] = 5 E[S]^2,
+	// 2.5x the exponential wait.
+	n := tandem1(25)
+	n.Classes[0].Window = 0
+	expo, err := Run(n, Config{Duration: 12000, Warmup: 1200, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyper, err := Run(n, Config{Duration: 12000, Warmup: 1200, Seed: 43, LengthCV: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waits: exponential 0.02, hyper 0.05; totals 0.04 vs 0.07.
+	if math.Abs(hyper.Delay-0.07) > 0.012 {
+		t.Errorf("CV-2 delay %v, want ~0.07 (M/G/1)", hyper.Delay)
+	}
+	if hyper.Delay <= expo.Delay {
+		t.Errorf("higher variance did not raise delay: %v vs %v", hyper.Delay, expo.Delay)
+	}
+}
+
+func TestErlangLengthsMoments(t *testing.T) {
+	// Check the sampler's variance through an open queue: CV 0.5 should
+	// land the M/G/1 wait between M/D/1 and M/M/1.
+	n := tandem1(25)
+	n.Classes[0].Window = 0
+	erl, err := Run(n, Config{Duration: 12000, Warmup: 1200, Seed: 47, LengthCV: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = rho*s*(1+CV^2)/(2(1-rho)) = 0.0125; T = 0.0325.
+	if math.Abs(erl.Delay-0.0325) > 0.004 {
+		t.Errorf("CV-0.5 delay %v, want ~0.0325", erl.Delay)
+	}
+}
+
+func TestBurstinessPreservesMeanRate(t *testing.T) {
+	n := tandem1(20)
+	n.Classes[0].Window = 0
+	res, err := Run(n, Config{Duration: 20000, Warmup: 2000, Seed: 51, Burstiness: 5, BurstOn: 0.5, Source: SourceBacklogged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.PerClass[0].Offered-20) / 20; rel > 0.05 {
+		t.Errorf("bursty offered rate %v, want ~20", res.PerClass[0].Offered)
+	}
+	if rel := math.Abs(res.Throughput-20) / 20; rel > 0.05 {
+		t.Errorf("bursty throughput %v, want ~20 (stable queue)", res.Throughput)
+	}
+}
+
+func TestBurstinessInflatesDelay(t *testing.T) {
+	// Same mean load, burstier arrivals: more queueing.
+	n := tandem1(25)
+	n.Classes[0].Window = 0
+	smooth, err := Run(n, Config{Duration: 12000, Warmup: 1200, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := Run(n, Config{Duration: 12000, Warmup: 1200, Seed: 53, Burstiness: 8, BurstOn: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Delay < 1.5*smooth.Delay {
+		t.Errorf("burstiness 8 delay %v vs Poisson %v: expected substantial inflation", bursty.Delay, smooth.Delay)
+	}
+}
+
+func TestWindowsShieldNetworkFromBursts(t *testing.T) {
+	// With windows, the in-network population stays capped under bursts;
+	// the burst is absorbed in the host backlog instead.
+	n := topo.Canada2Class(20, 20)
+	res, err := Run(n, Config{
+		Windows: numeric.IntVector{3, 3}, Duration: 6000, Warmup: 600,
+		Seed: 57, Burstiness: 6, BurstOn: 0.5, Source: SourceBacklogged,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if res.PerClass[r].MeanInNetwork > 3+1e-5 {
+			t.Errorf("class %d in-network %v exceeds window", r, res.PerClass[r].MeanInNetwork)
+		}
+	}
+	// Bursts show up as backlog, not network congestion.
+	if res.PerClass[0].MeanBacklog <= 0.5 {
+		t.Errorf("expected visible host backlog under bursts, got %v", res.PerClass[0].MeanBacklog)
+	}
+}
+
+func TestBurstyThrottledSourceStillWorks(t *testing.T) {
+	n := topo.Canada2Class(30, 30)
+	res, err := Run(n, Config{
+		Windows: numeric.IntVector{3, 3}, Duration: 4000, Warmup: 400,
+		Seed: 59, Burstiness: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput with bursty throttled sources")
+	}
+	// Offered rate is reduced by throttling but must stay positive and
+	// below the nominal peak.
+	if res.PerClass[0].Offered <= 0 || res.PerClass[0].Offered > 4*30 {
+		t.Errorf("offered = %v", res.PerClass[0].Offered)
+	}
+}

@@ -1,0 +1,654 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// message is one store-and-forward message in flight.
+type message struct {
+	class int
+	// hop indexes the class's route: the channel the message is queued
+	// on or transmitting over. After the final hop the message is
+	// delivered.
+	hop int
+	// node is the switching node currently storing the message.
+	node int
+	// length is the message length in bits when CorrelatedLengths is
+	// set; unused otherwise.
+	length float64
+	// admitted is the admission time (start of network delay).
+	admitted float64
+}
+
+// channelState is the runtime state of one half-duplex channel queue.
+type channelState struct {
+	queue []*message // FIFO; queue[0] is in service when busy
+	busy  bool
+	// blockedMsg, when non-nil, finished transmission but cannot enter
+	// its downstream node (full buffer); the channel is stalled.
+	blockedMsg *message
+	// blockedInto is the node the blocked message waits for.
+	blockedInto int
+}
+
+// classState is the runtime state of one class's source.
+type classState struct {
+	credits        int  // remaining window credits (unlimited if window 0)
+	window         int  // 0 = unlimited
+	backlog        int  // host-side backlog (SourceBacklogged)
+	arrivalPending bool // an evArrival event is scheduled
+	// arrivalEpoch invalidates stale arrival events after a burst state
+	// flip (the heap cannot cancel, so events carry the epoch they were
+	// booked under).
+	arrivalEpoch int
+	// burstOn is the on-off source state (always true for Poisson).
+	burstOn bool
+	// waitingAdmission marks a generated message waiting for a node
+	// buffer slot or a global permit (throttled mode holds at most one).
+	waitingAdmission int
+	srcNode          int
+	sinkNode         int
+	route            []int
+	arrivals         *rng.Stream
+	lengths          *rng.Stream
+	bursts           *rng.Stream
+}
+
+type state struct {
+	net *netmodel.Network
+	cfg Config
+
+	clock  float64
+	events eventQueue
+
+	classes  []classState
+	channels []channelState
+
+	// nodeCount[i] is the number of messages stored at node i;
+	// nodeLimit[i] <= 0 means infinite.
+	nodeCount []int
+	nodeLimit []int
+	// blockedOn[i] lists channels whose head is blocked into node i,
+	// FIFO.
+	blockedOn [][]int
+	// admissionWait lists classes with a message awaiting admission,
+	// FIFO.
+	admissionWait []int
+
+	permits int // remaining isarithmic permits; -1 = disabled
+
+	// inNet[r] counts class-r messages currently inside the network.
+	inNet []int
+
+	// Background cross-traffic (channels with Background > 0): per
+	// channel, the Poisson rate (msg/s), mean length (bits) and arrival
+	// stream. Background messages are single-hop, bypass node buffers,
+	// windows and permits, and appear only in channel statistics.
+	bgRate    []float64
+	bgMeanLen []float64
+	bgStreams []*rng.Stream
+
+	serviceStreams []*rng.Stream // per channel
+
+	stats *collector
+}
+
+func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*state, error) {
+	master := rng.New(cfg.Seed)
+	s := &state{
+		net:       n,
+		cfg:       cfg,
+		classes:   make([]classState, len(n.Classes)),
+		channels:  make([]channelState, len(n.Channels)),
+		nodeCount: make([]int, len(n.Nodes)),
+		inNet:     make([]int, len(n.Classes)),
+		nodeLimit: make([]int, len(n.Nodes)),
+		blockedOn: make([][]int, len(n.Nodes)),
+		permits:   -1,
+	}
+	if cfg.GlobalPermits > 0 {
+		s.permits = cfg.GlobalPermits
+	}
+	if cfg.NodeBuffers != nil {
+		copy(s.nodeLimit, cfg.NodeBuffers)
+	}
+	for r := range n.Classes {
+		nodes, err := n.RouteNodes(r)
+		if err != nil {
+			return nil, err
+		}
+		cs := &s.classes[r]
+		cs.window = windows[r]
+		cs.credits = windows[r]
+		cs.srcNode = nodes[0]
+		cs.sinkNode = nodes[len(nodes)-1]
+		cs.route = n.Classes[r].Route
+		cs.arrivals = master.Split(uint64(2 * r))
+		cs.lengths = master.Split(uint64(2*r + 1))
+		cs.bursts = master.Split(uint64(9000 + r))
+		cs.burstOn = true
+	}
+	s.serviceStreams = make([]*rng.Stream, len(n.Channels))
+	for l := range n.Channels {
+		s.serviceStreams[l] = master.Split(uint64(1000 + l))
+	}
+	s.bgRate = make([]float64, len(n.Channels))
+	s.bgMeanLen = make([]float64, len(n.Channels))
+	s.bgStreams = make([]*rng.Stream, len(n.Channels))
+	for l := range n.Channels {
+		bg := n.Channels[l].Background
+		if bg <= 0 {
+			continue
+		}
+		// Background messages take the mean length of the classes using
+		// the channel (all equal by validation), falling back to the
+		// first class's length on otherwise-unused channels.
+		meanLen := n.Classes[0].MeanLength
+		for r := range n.Classes {
+			for _, hop := range n.Classes[r].Route {
+				if hop == l {
+					meanLen = n.Classes[r].MeanLength
+					break
+				}
+			}
+		}
+		s.bgMeanLen[l] = meanLen
+		s.bgRate[l] = bg * n.Channels[l].Capacity / meanLen
+		s.bgStreams[l] = master.Split(uint64(5000 + l))
+	}
+	s.stats = newCollector(n, cfg)
+	return s, nil
+}
+
+func (s *state) run() (*Result, error) {
+	// Prime each class's arrival process, burst modulation and the
+	// background streams.
+	for r := range s.classes {
+		if s.cfg.Burstiness > 1 {
+			s.events.push(s.clock+s.classes[r].bursts.Exp(1/s.cfg.BurstOn), evBurstFlip, r, 0)
+		}
+		s.scheduleArrival(r)
+	}
+	for l := range s.bgRate {
+		if s.bgRate[l] > 0 {
+			s.events.push(s.clock+s.bgStreams[l].Exp(s.bgRate[l]), evBackground, -1, l)
+		}
+	}
+	warmupDone := false
+	for !s.events.empty() {
+		e := s.events.pop()
+		if e.at > s.cfg.Duration {
+			break
+		}
+		if !warmupDone && e.at >= s.cfg.Warmup {
+			s.stats.reset(s.cfg.Warmup, s)
+			warmupDone = true
+		}
+		s.advance(e.at)
+		switch e.kind {
+		case evArrival:
+			s.handleArrival(e.class, e.channel)
+		case evCompletion:
+			s.handleCompletion(e.channel)
+		case evAck:
+			s.creditReturn(e.class)
+		case evBackground:
+			s.handleBackground(e.channel)
+		case evPropArrive:
+			s.handlePropArrive(e.msg)
+		case evBurstFlip:
+			s.handleBurstFlip(e.class)
+		}
+	}
+	if !warmupDone {
+		s.stats.reset(s.cfg.Warmup, s)
+	}
+	s.advance(s.cfg.Duration)
+	s.clock = s.cfg.Duration
+	res := s.stats.result(s)
+	res.Deadlocked = s.isDeadlocked()
+	return res, nil
+}
+
+// advance moves the clock, accumulating time-weighted statistics.
+func (s *state) advance(to float64) {
+	if to < s.clock {
+		to = s.clock
+	}
+	s.stats.accumulate(s, to-s.clock)
+	s.clock = to
+}
+
+// scheduleArrival books the next exogenous message of class r if the
+// source model calls for one and none is pending.
+func (s *state) scheduleArrival(r int) {
+	cs := &s.classes[r]
+	if cs.arrivalPending || !cs.burstOn {
+		return
+	}
+	if s.cfg.Source == SourceThrottled {
+		// The source is shut off while the window is exhausted or a
+		// generated message is still waiting for admission.
+		if cs.window > 0 && cs.credits == 0 {
+			return
+		}
+		if cs.waitingAdmission > 0 {
+			return
+		}
+	}
+	rate := s.net.Classes[r].Rate
+	if s.cfg.Burstiness > 1 {
+		rate *= s.cfg.Burstiness // peak rate during on-periods
+	}
+	cs.arrivalPending = true
+	s.events.push(s.clock+cs.arrivals.Exp(rate), evArrival, r, cs.arrivalEpoch)
+}
+
+// handleBurstFlip toggles class r's on-off source state and books the
+// next flip. Pending arrivals booked under the old state are invalidated
+// via the epoch counter.
+func (s *state) handleBurstFlip(r int) {
+	cs := &s.classes[r]
+	cs.burstOn = !cs.burstOn
+	cs.arrivalEpoch++
+	cs.arrivalPending = false
+	var mean float64
+	if cs.burstOn {
+		mean = s.cfg.BurstOn
+		s.scheduleArrival(r)
+	} else {
+		mean = s.cfg.BurstOn * (s.cfg.Burstiness - 1)
+	}
+	s.events.push(s.clock+cs.bursts.Exp(1/mean), evBurstFlip, r, 0)
+}
+
+// handleArrival processes one exogenous message of class r. epoch guards
+// against events booked before a burst flip.
+func (s *state) handleArrival(r, epoch int) {
+	cs := &s.classes[r]
+	if epoch != cs.arrivalEpoch {
+		return // stale: the source flipped state since booking
+	}
+	cs.arrivalPending = false
+	s.stats.generated(r)
+	switch s.cfg.Source {
+	case SourceBacklogged:
+		cs.backlog++
+		s.drainBacklog(r)
+		s.scheduleArrival(r)
+	default: // SourceThrottled: the arrival consumes a credit directly.
+		if cs.window > 0 {
+			cs.credits--
+		}
+		s.tryAdmit(r)
+		s.scheduleArrival(r)
+	}
+}
+
+// drainBacklog admits backlogged messages while credits are available.
+func (s *state) drainBacklog(r int) {
+	cs := &s.classes[r]
+	for cs.backlog > 0 && (cs.window == 0 || cs.credits > 0) {
+		if cs.window > 0 {
+			cs.credits--
+		}
+		cs.backlog--
+		s.tryAdmit(r)
+	}
+}
+
+// tryAdmit moves one credit-holding message of class r into the network,
+// or queues it for admission if node buffers or permits are exhausted.
+func (s *state) tryAdmit(r int) {
+	cs := &s.classes[r]
+	if !s.admissionResourcesFree(r) {
+		cs.waitingAdmission++
+		s.admissionWait = append(s.admissionWait, r)
+		return
+	}
+	s.admit(r)
+}
+
+// admissionResourcesFree reports whether class r's source node has buffer
+// space and a global permit is available.
+func (s *state) admissionResourcesFree(r int) bool {
+	cs := &s.classes[r]
+	if s.permits == 0 {
+		return false
+	}
+	if limit := s.nodeLimit[cs.srcNode]; limit > 0 && s.nodeCount[cs.srcNode] >= limit {
+		return false
+	}
+	return true
+}
+
+// admit inserts a new message of class r at its source node.
+func (s *state) admit(r int) {
+	cs := &s.classes[r]
+	if s.permits > 0 {
+		s.permits--
+	}
+	m := &message{class: r, hop: 0, node: cs.srcNode, admitted: s.clock}
+	s.inNet[r]++
+	if s.cfg.CorrelatedLengths {
+		m.length = s.sampleLength(cs.lengths, s.net.Classes[r].MeanLength)
+	}
+	s.nodeCount[cs.srcNode]++
+	s.enqueue(m, cs.route[0])
+}
+
+// enqueue places m on channel l's FIFO and starts service if idle.
+func (s *state) enqueue(m *message, l int) {
+	ch := &s.channels[l]
+	ch.queue = append(ch.queue, m)
+	if !ch.busy && ch.blockedMsg == nil {
+		s.startService(l)
+	}
+}
+
+// startService begins transmitting channel l's head message.
+func (s *state) startService(l int) {
+	ch := &s.channels[l]
+	m := ch.queue[0]
+	var bits float64
+	switch {
+	case s.cfg.CorrelatedLengths:
+		bits = m.length
+	case m.class < 0:
+		bits = s.sampleLength(s.serviceStreams[l], s.bgMeanLen[l])
+	default:
+		bits = s.sampleLength(s.serviceStreams[l], s.net.Classes[m.class].MeanLength)
+	}
+	ch.busy = true
+	s.events.push(s.clock+bits/s.net.Channels[l].Capacity, evCompletion, -1, l)
+}
+
+// handleBackground injects one uncontrolled cross-traffic message on
+// channel l and books the next.
+func (s *state) handleBackground(l int) {
+	m := &message{class: -1, hop: -1, node: -1}
+	if s.cfg.CorrelatedLengths {
+		m.length = s.sampleLength(s.bgStreams[l], s.bgMeanLen[l])
+	}
+	s.enqueue(m, l)
+	s.events.push(s.clock+s.bgStreams[l].Exp(s.bgRate[l]), evBackground, -1, l)
+}
+
+// handleCompletion finishes the transmission in progress on channel l.
+func (s *state) handleCompletion(l int) {
+	ch := &s.channels[l]
+	ch.busy = false
+	m := ch.queue[0]
+	if m.class < 0 {
+		// Background message: leaves the system at the far end.
+		s.popHead(l)
+		s.startNextIfAny(l)
+		return
+	}
+	dest := s.otherEnd(l, m.node)
+	if pd := s.net.Channels[l].PropDelay; pd > 0 {
+		// The message has left the upstream store and is in flight; it
+		// occupies no node until it lands (Validate forbids combining
+		// propagation delay with finite buffers, so landing never
+		// blocks).
+		s.popHead(l)
+		s.releaseNode(m.node)
+		m.node = dest
+		s.events.pushMsg(s.clock+pd, evPropArrive, m.class, l, m)
+		s.startNextIfAny(l)
+		return
+	}
+	cs := &s.classes[m.class]
+	lastHop := m.hop == len(cs.route)-1
+	if lastHop {
+		// Delivery: the message leaves the network at the sink host.
+		s.popHead(l)
+		s.releaseNode(m.node)
+		s.deliver(m)
+		s.startNextIfAny(l)
+		return
+	}
+	next := cs.route[m.hop+1]
+	if limit := s.nodeLimit[dest]; limit > 0 && s.nodeCount[dest] >= limit {
+		// Local flow control: the downstream node is full; the message
+		// stays, stalling the channel (store-and-forward blocking).
+		s.popHead(l)
+		ch.blockedMsg = m
+		ch.blockedInto = dest
+		s.blockedOn[dest] = append(s.blockedOn[dest], l)
+		return
+	}
+	s.popHead(l)
+	s.moveToNode(m, dest, next)
+	s.startNextIfAny(l)
+}
+
+// handlePropArrive lands an in-flight message at m.node: delivery on the
+// final hop, otherwise the next channel's queue.
+func (s *state) handlePropArrive(m *message) {
+	cs := &s.classes[m.class]
+	if m.hop == len(cs.route)-1 {
+		s.deliver(m)
+		return
+	}
+	s.nodeCount[m.node]++
+	m.hop++
+	s.enqueue(m, cs.route[m.hop])
+}
+
+// popHead removes channel l's head message.
+func (s *state) popHead(l int) {
+	ch := &s.channels[l]
+	copy(ch.queue, ch.queue[1:])
+	ch.queue = ch.queue[:len(ch.queue)-1]
+}
+
+// startNextIfAny restarts channel l if messages wait and it is not
+// stalled on a blocked message.
+func (s *state) startNextIfAny(l int) {
+	ch := &s.channels[l]
+	if ch.blockedMsg == nil && !ch.busy && len(ch.queue) > 0 {
+		s.startService(l)
+	}
+}
+
+// moveToNode advances m to node dest and queues it on its next channel.
+func (s *state) moveToNode(m *message, dest, nextChannel int) {
+	s.releaseNode(m.node)
+	s.nodeCount[dest]++
+	m.node = dest
+	m.hop++
+	s.enqueue(m, nextChannel)
+}
+
+// deliver completes m: statistics, isarithmic permit, and the window
+// credit (immediately when acknowledgements are instantaneous, after the
+// class's AckDelay otherwise). The acknowledgement latency is modelled as
+// a deterministic delay; the analytic model uses an exponential IS
+// station of the same mean, and by BCMP insensitivity the two agree —
+// a property the simulator tests exploit.
+func (s *state) deliver(m *message) {
+	s.inNet[m.class]--
+	s.stats.delivered(m.class, s.clock-m.admitted, s.clock)
+	if s.permits >= 0 {
+		s.permits++
+		s.retryAdmissions()
+	}
+	if ack := s.net.Classes[m.class].AckDelay; ack > 0 && s.classes[m.class].window > 0 {
+		s.events.push(s.clock+ack, evAck, m.class, -1)
+		return
+	}
+	s.creditReturn(m.class)
+}
+
+// creditReturn hands a window credit back to class r's source and wakes
+// whatever the credit was gating.
+func (s *state) creditReturn(r int) {
+	cs := &s.classes[r]
+	if cs.window > 0 {
+		cs.credits++
+	}
+	switch s.cfg.Source {
+	case SourceBacklogged:
+		s.drainBacklog(r)
+	default:
+		s.scheduleArrival(r)
+	}
+}
+
+// releaseNode decrements a node's occupancy and unblocks waiters.
+func (s *state) releaseNode(node int) {
+	s.nodeCount[node]--
+	s.unblockInto(node)
+	s.retryAdmissionsAt(node)
+}
+
+// unblockInto lets the first channel blocked into node proceed if space
+// now exists.
+func (s *state) unblockInto(node int) {
+	for len(s.blockedOn[node]) > 0 {
+		if limit := s.nodeLimit[node]; limit > 0 && s.nodeCount[node] >= limit {
+			return
+		}
+		l := s.blockedOn[node][0]
+		s.blockedOn[node] = s.blockedOn[node][1:]
+		ch := &s.channels[l]
+		m := ch.blockedMsg
+		ch.blockedMsg = nil
+		cs := &s.classes[m.class]
+		s.moveToNode(m, node, cs.route[m.hop+1])
+		s.startNextIfAny(l)
+	}
+}
+
+// retryAdmissions retries every queued admission (used on permit
+// release).
+func (s *state) retryAdmissions() {
+	s.retryAdmissionsFiltered(func(int) bool { return true })
+}
+
+// retryAdmissionsAt retries queued admissions whose source is node.
+func (s *state) retryAdmissionsAt(node int) {
+	s.retryAdmissionsFiltered(func(r int) bool { return s.classes[r].srcNode == node })
+}
+
+func (s *state) retryAdmissionsFiltered(match func(r int) bool) {
+	if len(s.admissionWait) == 0 {
+		return
+	}
+	remaining := s.admissionWait[:0]
+	for _, r := range s.admissionWait {
+		if match(r) && s.admissionResourcesFree(r) {
+			s.classes[r].waitingAdmission--
+			s.admit(r)
+			if s.cfg.Source == SourceThrottled {
+				s.scheduleArrival(r)
+			}
+			continue
+		}
+		remaining = append(remaining, r)
+	}
+	s.admissionWait = remaining
+}
+
+// sampleLength draws a message length (bits) with the configured
+// coefficient of variation: exponential by default, Erlang-k below CV 1
+// (deterministic under 0.02), balanced-means hyperexponential above.
+func (s *state) sampleLength(stream *rng.Stream, mean float64) float64 {
+	cv := s.cfg.LengthCV
+	switch {
+	case cv == 0 || cv == 1:
+		return stream.Exp(1 / mean)
+	case cv < 0.02:
+		return mean
+	case cv < 1:
+		k := int(1/(cv*cv) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > 64 {
+			k = 64
+		}
+		sum := 0.0
+		rate := float64(k) / mean
+		for i := 0; i < k; i++ {
+			sum += stream.Exp(rate)
+		}
+		return sum
+	default:
+		// Two-phase hyperexponential with balanced means:
+		// p1/mu1 = p2/mu2 = mean/2.
+		c2 := cv * cv
+		p1 := 0.5 * (1 + math.Sqrt((c2-1)/(c2+1)))
+		var p float64
+		if stream.Float64() < p1 {
+			p = p1
+		} else {
+			p = 1 - p1
+		}
+		return stream.Exp(2 * p / mean)
+	}
+}
+
+// otherEnd returns the endpoint of channel l opposite node.
+func (s *state) otherEnd(l, node int) int {
+	ch := &s.net.Channels[l]
+	if ch.From == node {
+		return ch.To
+	}
+	return ch.From
+}
+
+// isDeadlocked reports whether messages remain in the network while every
+// channel is stalled (blocked or empty) — store-and-forward deadlock.
+func (s *state) isDeadlocked() bool {
+	inNetwork := 0
+	for i := range s.nodeCount {
+		inNetwork += s.nodeCount[i]
+	}
+	if inNetwork == 0 {
+		return false
+	}
+	for l := range s.channels {
+		if s.channels[l].busy {
+			return false
+		}
+		if s.channels[l].blockedMsg == nil && len(s.channels[l].queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sanity panics with a diagnostic if internal invariants break; used by
+// tests via the exported debug hooks below.
+func (s *state) sanity() error {
+	total := 0
+	for l := range s.channels {
+		ch := &s.channels[l]
+		for _, m := range ch.queue {
+			if m.class >= 0 {
+				total++
+			}
+		}
+		if ch.blockedMsg != nil {
+			total++
+		}
+	}
+	inNodes := 0
+	for _, c := range s.nodeCount {
+		if c < 0 {
+			return fmt.Errorf("sim: negative node occupancy")
+		}
+		inNodes += c
+	}
+	if total != inNodes {
+		return fmt.Errorf("sim: %d messages on channels but %d in node buffers", total, inNodes)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+)
+
+// collector accumulates time-weighted and per-delivery statistics,
+// excluding the warmup period.
+type collector struct {
+	cfg   Config
+	since float64 // measurement start (warmup end once reset)
+
+	// Time integrals.
+	chanBusy  []float64 // per channel: busy-time integral
+	chanQueue []float64 // per channel: stored-message integral
+	inNet     []float64 // per class: in-network count integral
+	backlog   []float64 // per class: backlog integral
+
+	generatedN []int64
+	deliveredN []int64
+	delaySum   []float64
+	delays     [][]float64 // per class, per delivery (for batch means)
+
+	// nodeOcc[i][k] is the time node i spent holding k messages
+	// (k capped at occCap-1; the last bucket collects the overflow).
+	nodeOcc [][]float64
+}
+
+// occCap bounds the node-occupancy histograms.
+const occCap = 512
+
+func newCollector(n *netmodel.Network, cfg Config) *collector {
+	nodeOcc := make([][]float64, len(n.Nodes))
+	for i := range nodeOcc {
+		nodeOcc[i] = make([]float64, occCap)
+	}
+	return &collector{
+		nodeOcc:    nodeOcc,
+		cfg:        cfg,
+		chanBusy:   make([]float64, len(n.Channels)),
+		chanQueue:  make([]float64, len(n.Channels)),
+		inNet:      make([]float64, len(n.Classes)),
+		backlog:    make([]float64, len(n.Classes)),
+		generatedN: make([]int64, len(n.Classes)),
+		deliveredN: make([]int64, len(n.Classes)),
+		delaySum:   make([]float64, len(n.Classes)),
+		delays:     make([][]float64, len(n.Classes)),
+	}
+}
+
+// reset zeroes all accumulators at the end of warmup.
+func (c *collector) reset(at float64, s *state) {
+	c.since = at
+	for i := range c.chanBusy {
+		c.chanBusy[i] = 0
+		c.chanQueue[i] = 0
+	}
+	for r := range c.inNet {
+		c.inNet[r] = 0
+		c.backlog[r] = 0
+		c.generatedN[r] = 0
+		c.deliveredN[r] = 0
+		c.delaySum[r] = 0
+		c.delays[r] = nil
+	}
+	for i := range c.nodeOcc {
+		for k := range c.nodeOcc[i] {
+			c.nodeOcc[i][k] = 0
+		}
+	}
+}
+
+// accumulate folds dt seconds of the current state into the integrals.
+func (c *collector) accumulate(s *state, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for l := range s.channels {
+		ch := &s.channels[l]
+		if ch.busy {
+			c.chanBusy[l] += dt
+		}
+		stored := len(ch.queue)
+		if ch.blockedMsg != nil {
+			stored++
+		}
+		c.chanQueue[l] += float64(stored) * dt
+	}
+	for r := range s.classes {
+		c.inNet[r] += float64(s.inNet[r]) * dt
+		c.backlog[r] += float64(s.classes[r].backlog) * dt
+	}
+	for i, count := range s.nodeCount {
+		if count >= occCap {
+			count = occCap - 1
+		}
+		c.nodeOcc[i][count] += dt
+	}
+}
+
+func (c *collector) generated(r int) { c.generatedN[r]++ }
+
+func (c *collector) delivered(r int, delay, at float64) {
+	c.deliveredN[r]++
+	c.delaySum[r] += delay
+	c.delays[r] = append(c.delays[r], delay)
+}
+
+// result assembles the final Result at the end of the run.
+func (c *collector) result(s *state) *Result {
+	horizon := s.clock - c.since
+	if horizon <= 0 {
+		horizon = 1e-12
+	}
+	res := &Result{
+		PerClass:           make([]ClassStats, len(s.classes)),
+		ChannelUtilization: make([]float64, len(s.channels)),
+		ChannelMeanQueue:   make([]float64, len(s.channels)),
+		Clock:              s.clock,
+	}
+	for l := range s.channels {
+		res.ChannelUtilization[l] = c.chanBusy[l] / horizon
+		res.ChannelMeanQueue[l] = c.chanQueue[l] / horizon
+	}
+	res.NodeOccupancy = make([][]float64, len(c.nodeOcc))
+	for i := range c.nodeOcc {
+		// Trim trailing zeros to keep the result compact.
+		last := 0
+		for k, v := range c.nodeOcc[i] {
+			if v > 0 {
+				last = k
+			}
+		}
+		h := make([]float64, last+1)
+		for k := 0; k <= last; k++ {
+			h[k] = c.nodeOcc[i][k] / horizon
+		}
+		res.NodeOccupancy[i] = h
+	}
+	for r := range s.classes {
+		cs := &res.PerClass[r]
+		cs.Offered = float64(c.generatedN[r]) / horizon
+		cs.Delivered = c.deliveredN[r]
+		cs.Throughput = float64(c.deliveredN[r]) / horizon
+		cs.MeanInNetwork = c.inNet[r] / horizon
+		cs.MeanBacklog = c.backlog[r] / horizon
+		if c.deliveredN[r] > 0 {
+			cs.MeanDelay = c.delaySum[r] / float64(c.deliveredN[r])
+		}
+		if w, err := numeric.BatchMeans(c.delays[r], c.cfg.Batches); err == nil {
+			if hw, err := w.ConfidenceInterval(0.95); err == nil {
+				cs.DelayCI95 = hw
+			}
+		}
+		cs.DelayP95 = numeric.Percentile(c.delays[r], 0.95)
+	}
+	res.finish()
+	return res
+}

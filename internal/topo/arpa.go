@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+)
+
+// Arpa returns a 10-node mesh patterned on the early ARPANET (Fig. 2.3
+// of the thesis shows the 1976 network; this is the classic 1970-era
+// West–East backbone shape): 13 half-duplex 50 kb/s channels and, by
+// default, six cross-country virtual channels routed by shortest path.
+// rates gives the per-class arrival rates (len 6); nil uses 8 msg/s for
+// every class.
+//
+// The network is the repository's "larger network" test bed for the
+// Chapter 5 claim that WINDIM's insights extend beyond the 6-node
+// examples: exact analysis of six interacting chains is already
+// infeasible (a 9^6-point lattice per candidate), while the σ-heuristic
+// evaluation stays linear.
+func Arpa(rates []float64) (*netmodel.Network, error) {
+	names := []string{
+		"UCLA", "SRI", "UCSB", "UTAH", "RAND",
+		"SDC", "BBN", "MIT", "HARV", "LINC",
+	}
+	n := &netmodel.Network{Name: "arpa-10"}
+	for _, nm := range names {
+		n.Nodes = append(n.Nodes, netmodel.Node{Name: nm})
+	}
+	idx := func(name string) int {
+		for i := range names {
+			if names[i] == name {
+				return i
+			}
+		}
+		panic("topo: unknown arpa node " + name)
+	}
+	edges := [][2]string{
+		{"UCLA", "SRI"}, {"UCLA", "UCSB"}, {"UCLA", "RAND"},
+		{"SRI", "UCSB"}, {"SRI", "UTAH"},
+		{"UTAH", "SDC"}, {"UTAH", "MIT"},
+		{"RAND", "SDC"}, {"RAND", "BBN"},
+		{"BBN", "MIT"}, {"BBN", "HARV"},
+		{"MIT", "LINC"}, {"HARV", "LINC"},
+	}
+	const k = 1000.0
+	for _, e := range edges {
+		n.Channels = append(n.Channels, netmodel.Channel{
+			Name: e[0] + "-" + e[1], From: idx(e[0]), To: idx(e[1]), Capacity: 50 * k,
+		})
+	}
+	pairs := [][2]string{
+		{"UCLA", "MIT"},  // west -> east, long
+		{"HARV", "UCSB"}, // east -> west, long
+		{"SRI", "LINC"},  // west -> east, long
+		{"SDC", "BBN"},   // mid-length
+		{"UCLA", "UTAH"}, // short, western cluster
+		{"MIT", "HARV"},  // short, eastern cluster
+	}
+	if rates == nil {
+		rates = []float64{8, 8, 8, 8, 8, 8}
+	}
+	if len(rates) != len(pairs) {
+		return nil, fmt.Errorf("topo: arpa needs %d rates, got %d", len(pairs), len(rates))
+	}
+	for i, p := range pairs {
+		if _, err := n.AddClass(
+			fmt.Sprintf("vc-%s-%s", p[0], p[1]), p[0], p[1],
+			rates[i], MessageLength, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: arpa network invalid: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,40 @@
+package topo
+
+import "testing"
+
+func TestArpaStructure(t *testing.T) {
+	n, err := Arpa(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("arpa invalid: %v", err)
+	}
+	if len(n.Nodes) != 10 || len(n.Channels) != 13 || len(n.Classes) != 6 {
+		t.Fatalf("shape: %d nodes, %d channels, %d classes",
+			len(n.Nodes), len(n.Channels), len(n.Classes))
+	}
+	// Long routes actually cross the network (>= 3 hops each).
+	for r := 0; r < 3; r++ {
+		if n.Hops(r) < 3 {
+			t.Errorf("class %d hops = %d, expected a long route", r, n.Hops(r))
+		}
+	}
+	// The short eastern pair is 2 hops (via BBN or LINC).
+	if n.Hops(5) != 2 {
+		t.Errorf("MIT-HARV hops = %d, want 2", n.Hops(5))
+	}
+}
+
+func TestArpaRates(t *testing.T) {
+	n, err := Arpa([]float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Classes[3].Rate != 4 {
+		t.Errorf("rate = %v", n.Classes[3].Rate)
+	}
+	if _, err := Arpa([]float64{1, 2}); err == nil {
+		t.Error("expected rate-count error")
+	}
+}

@@ -1,0 +1,123 @@
+// Package repro is a Go reproduction of Jackson Y. K. Chan's 1979 thesis
+// "Dimensioning of Message-Switched Computer-Communication Networks with
+// End-to-End Window Flow Control" (University of Ottawa / SIGCOMM 1979):
+// the WINDIM algorithm and every substrate it rests on.
+//
+// This package is the public facade; it re-exports the library's main
+// workflow so a downstream user needs a single import:
+//
+//	net := repro.Canada2Class(20, 20)           // or repro.ParseSpec(json)
+//	res, err := repro.Dimension(net, repro.DimensionOptions{})
+//	fmt.Println(res.Windows, res.Metrics.Power) // power-optimal windows
+//
+//	simRes, err := repro.Simulate(net, repro.SimConfig{
+//	    Windows: res.Windows, Duration: 5000, Warmup: 500,
+//	})
+//
+// The layers underneath (usable directly from within this module):
+//
+//   - internal/qnet        — the separable queueing-network model (Ch. 3)
+//   - internal/convolution — exact multichain convolution solver
+//   - internal/mva         — exact and approximate mean value analysis
+//   - internal/markov      — brute-force CTMC oracle
+//   - internal/pattern     — Hooke–Jeeves integer pattern search
+//   - internal/power       — the throughput/delay "power" criterion
+//   - internal/netmodel    — message-switched network descriptions
+//   - internal/core        — WINDIM itself
+//   - internal/sim         — discrete-event network simulator
+//   - internal/experiments — the thesis's tables and figures
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Network describes a message-switched store-and-forward network with
+// end-to-end window flow control.
+type Network = netmodel.Network
+
+// Node, Channel and Class are the components of a Network.
+type (
+	Node    = netmodel.Node
+	Channel = netmodel.Channel
+	Class   = netmodel.Class
+)
+
+// WindowVector is a per-class window-size vector.
+type WindowVector = numeric.IntVector
+
+// Metrics is the performance summary (throughput, delay, power) of one
+// operating point.
+type Metrics = power.Metrics
+
+// DimensionOptions configures the WINDIM run; the zero value reproduces
+// the thesis's configuration.
+type DimensionOptions = core.Options
+
+// DimensionResult is the outcome of a WINDIM run.
+type DimensionResult = core.Result
+
+// Evaluator constants select the per-candidate model solver.
+const (
+	EvalSigmaMVA      = core.EvalSigmaMVA
+	EvalSchweitzerMVA = core.EvalSchweitzerMVA
+	EvalExactMVA      = core.EvalExactMVA
+)
+
+// Search constants select the optimiser.
+const (
+	PatternSearch    = core.PatternSearch
+	ExhaustiveSearch = core.ExhaustiveSearch
+)
+
+// SimConfig and SimResult parameterise and report simulation runs.
+type (
+	SimConfig = sim.Config
+	SimResult = sim.Result
+)
+
+// Source-model constants for SimConfig.
+const (
+	SourceThrottled  = sim.SourceThrottled
+	SourceBacklogged = sim.SourceBacklogged
+)
+
+// ParseSpec decodes a JSON network specification (see netmodel.Spec for
+// the schema) into a validated Network.
+func ParseSpec(data []byte) (*Network, error) { return netmodel.ParseSpec(data) }
+
+// Dimension runs WINDIM: it searches window space for the settings that
+// maximise network power.
+func Dimension(n *Network, opts DimensionOptions) (*DimensionResult, error) {
+	return core.Dimension(n, opts)
+}
+
+// Evaluate computes the power metrics of the network at a fixed window
+// vector.
+func Evaluate(n *Network, windows WindowVector, opts DimensionOptions) (*Metrics, error) {
+	return core.Evaluate(n, windows, opts)
+}
+
+// KleinrockWindows returns the hop-count rule-of-thumb window vector.
+func KleinrockWindows(n *Network) WindowVector { return core.KleinrockWindows(n) }
+
+// Simulate runs the discrete-event simulator on the network.
+func Simulate(n *Network, cfg SimConfig) (*SimResult, error) { return sim.Run(n, cfg) }
+
+// Canada2Class returns the thesis's 2-class 6-node example network
+// (Fig. 4.5) with the given class arrival rates.
+func Canada2Class(s1, s2 float64) *Network { return topo.Canada2Class(s1, s2) }
+
+// Canada4Class returns the thesis's 4-class example network (Fig. 4.10).
+func Canada4Class(s1, s2, s3, s4 float64) *Network { return topo.Canada4Class(s1, s2, s3, s4) }
+
+// Tandem returns a p-hop linear network with a single class — Kleinrock's
+// reference topology.
+func Tandem(hops int, capacityBps, rate, meanLengthBits float64) (*Network, error) {
+	return topo.Tandem(hops, capacityBps, rate, meanLengthBits)
+}

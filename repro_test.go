@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeDimensionAndSimulate(t *testing.T) {
+	n := Canada2Class(25, 25)
+	res, err := Dimension(n, DimensionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 2 || res.Windows[0] < 1 {
+		t.Fatalf("windows = %v", res.Windows)
+	}
+	simRes, err := Simulate(n, SimConfig{
+		Windows: res.Windows, Duration: 3000, Warmup: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(simRes.Power-res.Metrics.Power) / res.Metrics.Power; rel > 0.10 {
+		t.Errorf("simulated power %v vs analytic %v", simRes.Power, res.Metrics.Power)
+	}
+}
+
+func TestFacadeEvaluateAndKleinrock(t *testing.T) {
+	n := Canada4Class(6, 6, 6, 12)
+	kw := KleinrockWindows(n)
+	m, err := Evaluate(n, kw, DimensionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Power <= 0 {
+		t.Errorf("power = %v", m.Power)
+	}
+}
+
+func TestFacadeParseSpec(t *testing.T) {
+	n, err := Tandem(3, 50000, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := n.MarshalSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Channels) != 3 {
+		t.Errorf("round trip lost channels: %d", len(back.Channels))
+	}
+}
