@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+// BenchResult is one entry of the -json output: the machine-readable perf
+// record future PRs diff against BENCH_baseline.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Evaluations counts the objective evaluations one run of the
+	// benchmarked operation performs (0 where not applicable).
+	Evaluations int `json:"evaluations"`
+}
+
+type benchFile struct {
+	Go      string        `json:"go"`
+	Workers int           `json:"workers"`
+	Results []BenchResult `json:"results"`
+}
+
+// runJSONBench times the representative WINDIM workloads and writes the
+// results as JSON to path ("-" for stdout).
+func runJSONBench(path string, opts core.Options) error {
+	canada2 := topo.Canada2Class(20, 20)
+	canada4 := topo.Canada4Class(9.957, 4.419, 7.656, 7.968)
+	cold := opts
+	cold.ColdStart = true
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	if parallel.Workers < 2 {
+		parallel.Workers = 4
+	}
+
+	// evals runs a dimensioning once, purely to report the objective
+	// evaluation count next to its timing.
+	evals := func(res *core.Result, err error) (int, error) {
+		if err != nil {
+			return 0, err
+		}
+		return res.Search.Evaluations, nil
+	}
+	sumTable47 := func() (int, error) {
+		rows, err := experiments.Table47(opts)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, r := range rows {
+			n += r.Evaluations
+		}
+		return n, nil
+	}
+	sumTable48 := func() (int, error) {
+		rows, err := experiments.Table48(opts)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, r := range rows {
+			n += r.Evaluations
+		}
+		return n, nil
+	}
+
+	suite := []struct {
+		name  string
+		evals func() (int, error)
+		body  func() error
+	}{
+		{"Table47", sumTable47, func() error {
+			_, err := experiments.Table47(opts)
+			return err
+		}},
+		{"Table48", sumTable48, func() error {
+			_, err := experiments.Table48(opts)
+			return err
+		}},
+		{"EvaluateEngine/canada4", nil, nil}, // filled below: needs shared engine state
+		{"DimensionCold/canada2", func() (int, error) {
+			return evals(core.Dimension(canada2, cold))
+		}, func() error {
+			_, err := core.Dimension(canada2, cold)
+			return err
+		}},
+		{"DimensionWarm/canada2", func() (int, error) {
+			return evals(core.Dimension(canada2, serial))
+		}, func() error {
+			_, err := core.Dimension(canada2, serial)
+			return err
+		}},
+		{"DimensionParallel/canada4", func() (int, error) {
+			return evals(core.Dimension(canada4, parallel))
+		}, func() error {
+			_, err := core.Dimension(canada4, parallel)
+			return err
+		}},
+	}
+	// The engine micro-benchmark reuses one engine across iterations —
+	// that is the steady state it exists to measure.
+	eng, err := core.NewEngine(canada4, opts)
+	if err != nil {
+		return err
+	}
+	w := numeric.IntVector{4, 4, 3, 2}
+	suite[2].body = func() error {
+		_, err := eng.ObjectiveValue(w, opts.Objective)
+		return err
+	}
+
+	out := benchFile{Go: runtime.Version(), Workers: parallel.Workers}
+	for _, s := range suite {
+		var benchErr error
+		body := s.body
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := body(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("bench %s: %w", s.name, benchErr)
+		}
+		rec := BenchResult{
+			Name:        s.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if s.evals != nil {
+			n, err := s.evals()
+			if err != nil {
+				return fmt.Errorf("bench %s evaluations: %w", s.name, err)
+			}
+			rec.Evaluations = n
+		}
+		out.Results = append(out.Results, rec)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op %6d evals\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.Evaluations)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

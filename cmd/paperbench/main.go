@@ -41,10 +41,12 @@ func run(args []string) error {
 	sensitivity := fs.Bool("sensitivity", false, "static-vs-retuned window sensitivity study")
 	all := fs.Bool("all", false, "run everything")
 	evaluator := fs.String("evaluator", "sigma", "candidate evaluator for the tables: sigma, schweitzer, exact")
+	workers := fs.Int("workers", 1, "parallel candidate evaluations for the dimensioning runs")
+	jsonOut := fs.String("json", "", "run the benchmark suite and write machine-readable results to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := core.Options{}
+	opts := core.Options{Workers: *workers}
 	switch *evaluator {
 	case "sigma":
 		opts.Evaluator = core.EvalSigmaMVA
@@ -54,6 +56,9 @@ func run(args []string) error {
 		opts.Evaluator = core.EvalExactMVA
 	default:
 		return fmt.Errorf("unknown evaluator %q", *evaluator)
+	}
+	if *jsonOut != "" {
+		return runJSONBench(*jsonOut, opts)
 	}
 	ran := false
 	runIf := func(cond bool, f func() error) error {

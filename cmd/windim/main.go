@@ -43,6 +43,7 @@ func run(args []string) error {
 	search := fs.String("search", "pattern", "optimiser: pattern, exhaustive")
 	objective := fs.String("objective", "power", "criterion: power, min-class, sum-class")
 	maxWindow := fs.Int("max-window", 0, "upper bound on every window (0 = default)")
+	workers := fs.Int("workers", 1, "parallel candidate evaluations: splits the exhaustive box, and speculatively evaluates pattern-search probes (same result as serial)")
 	start := fs.String("start", "", "initial windows for the pattern search (default: hop counts)")
 	trace := fs.Bool("trace", false, "print the pattern-search base-point trace")
 	sweep := fs.String("sweep", "", "comma-separated load scale factors; dimensions the network at each (e.g. 0.5,1,2)")
@@ -57,7 +58,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxWindow: *maxWindow}
+	opts := core.Options{MaxWindow: *maxWindow, Workers: *workers}
 	switch *evaluator {
 	case "sigma":
 		opts.Evaluator = core.EvalSigmaMVA

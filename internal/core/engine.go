@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mva"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/qnet"
+)
+
+// Engine is a reusable per-network evaluator: it performs the Fig. 4.6
+// closed-chain transformation, validation, and the mixed-network reduction
+// ONCE at construction, then evaluates candidate window vectors by
+// mutating only the chain populations of pooled model copies. Combined
+// with the mva workspace (preallocated buffers, incremental σ curves) and
+// the warm-start seed, the per-candidate cost drops from "build + validate
+// + cold-solve" to a handful of warm fixed-point sweeps with near-zero
+// allocations — the difference WINDIM's inner loop is measured by in
+// BenchmarkEvaluateEngine and BenchmarkDimensionWarmVsCold.
+//
+// An Engine is safe for concurrent Evaluate/ObjectiveValue calls (each
+// borrows a pooled evaluation state); Commit must not run concurrently
+// with evaluations. pattern.Search's OnCommit hook guarantees exactly
+// that: commits happen serially, after the pass barrier.
+//
+// Determinism: every evaluation between two commits seeds from the same
+// committed WarmStart, never from another candidate's result, so the
+// objective is a pure function of (committed trajectory, candidate). This
+// is what makes speculative-parallel exploration bit-identical to the
+// serial search.
+type Engine struct {
+	opts     Options
+	nCls     int
+	ref      *qnet.Network // prevalidated effective-closed reference model
+	excluded [][]int
+	useWarm  bool
+	warm     atomic.Pointer[mva.WarmStart]
+	pool     sync.Pool
+}
+
+// evalState is one borrowed evaluation context: a model view sharing the
+// reference Stations but owning its Chains (so populations can be mutated
+// without racing other borrowers), a solver workspace, and a Metrics whose
+// slices are recycled by ObjectiveValue.
+type evalState struct {
+	model   qnet.Network
+	ws      *mva.Workspace
+	metrics power.Metrics
+}
+
+// NewEngine builds the evaluation engine for a network under the given
+// WINDIM options (Evaluator and MVA settings are honoured; search-related
+// fields are ignored). The closed-chain model is constructed at the
+// all-ones window vector purely to fix its structure — windows enter only
+// as chain populations afterwards.
+func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
+	nCls := len(n.Classes)
+	ones := numeric.NewIntVector(nCls)
+	for i := range ones {
+		ones[i] = 1
+	}
+	model, excluded, err := n.ClosedModel(ones)
+	if err != nil {
+		return nil, err
+	}
+	ref := model
+	if opts.Evaluator != EvalExactMVA {
+		// The approximate paths run with Prevalidated set, so the checks
+		// and the open-load reduction happen here, once.
+		ref, err = mva.Prevalidate(model)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		opts:     opts,
+		nCls:     nCls,
+		ref:      ref,
+		excluded: excluded,
+		// The exact evaluator re-validates per call and ColdStart asks for
+		// reproductions of the legacy cold trajectory, so neither seeds
+		// from previous candidates.
+		useWarm: opts.Evaluator != EvalExactMVA && !opts.ColdStart,
+	}
+	e.pool.New = func() any {
+		st := &evalState{
+			model: qnet.Network{
+				Stations: e.ref.Stations,
+				Chains:   make([]qnet.Chain, len(e.ref.Chains)),
+			},
+			ws: mva.NewWorkspace(),
+		}
+		copy(st.model.Chains, e.ref.Chains)
+		return st
+	}
+	return e, nil
+}
+
+// solve borrows nothing: st is caller-owned. It sets the populations and
+// runs the configured solver, warm-seeded from the last committed base
+// point when enabled.
+func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution, error) {
+	if len(windows) != e.nCls {
+		return nil, fmt.Errorf("core: %d windows for %d classes", len(windows), e.nCls)
+	}
+	for r := range st.model.Chains {
+		if windows[r] < 0 {
+			return nil, fmt.Errorf("core: negative window %d for class %d", windows[r], r)
+		}
+		st.model.Chains[r].Population = windows[r]
+	}
+	var warm *mva.WarmStart
+	if e.useWarm {
+		warm = e.warm.Load()
+	}
+	switch e.opts.Evaluator {
+	case EvalExactMVA:
+		return mva.ExactMultichain(&st.model)
+	case EvalSchweitzerMVA:
+		mo := e.opts.MVA
+		mo.Method = mva.Schweitzer
+		mo.Prevalidated = true
+		mo.Workspace = st.ws
+		mo.Warm = warm
+		return mva.Approximate(&st.model, mo)
+	case EvalLinearizerMVA:
+		mo := e.opts.MVA
+		mo.Prevalidated = true
+		mo.Warm = warm
+		return mva.Linearizer(&st.model, mo)
+	default:
+		mo := e.opts.MVA
+		mo.Method = mva.SigmaHeuristic
+		mo.Prevalidated = true
+		mo.Workspace = st.ws
+		mo.Warm = warm
+		return mva.Approximate(&st.model, mo)
+	}
+}
+
+// Evaluate solves the model at the given windows and returns freshly
+// allocated power metrics (safe to retain).
+func (e *Engine) Evaluate(windows numeric.IntVector) (*power.Metrics, error) {
+	st := e.pool.Get().(*evalState)
+	defer e.pool.Put(st)
+	sol, err := e.solve(st, windows)
+	if err != nil {
+		return nil, err
+	}
+	m := &power.Metrics{}
+	if err := power.FromSolutionInto(m, &st.model, sol, e.excluded); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ObjectiveValue returns the WINDIM objective (1/power under the chosen
+// criterion) at the given windows. This is the search hot path: metrics
+// land in the pooled state's recycled slices, so a steady-state call
+// allocates nothing.
+func (e *Engine) ObjectiveValue(windows numeric.IntVector, kind ObjectiveKind) (float64, error) {
+	st := e.pool.Get().(*evalState)
+	defer e.pool.Put(st)
+	sol, err := e.solve(st, windows)
+	if err != nil {
+		return 0, err
+	}
+	if err := power.FromSolutionInto(&st.metrics, &st.model, sol, e.excluded); err != nil {
+		return 0, err
+	}
+	return objectiveValue(&st.metrics, kind), nil
+}
+
+// Commit promotes the solution at windows to the warm-start seed for
+// subsequent evaluations. Intended as pattern.Options.OnCommit: the
+// candidate was just accepted as a base point, its neighbours are the next
+// probes, and no evaluation is in flight. The committed seed is re-solved
+// from the PREVIOUS committed seed, so the warm chain depends only on the
+// accepted trajectory — never on which speculative probes happened to run.
+// A failed solve leaves the previous seed in place.
+func (e *Engine) Commit(windows numeric.IntVector) {
+	if !e.useWarm {
+		return
+	}
+	st := e.pool.Get().(*evalState)
+	defer e.pool.Put(st)
+	sol, err := e.solve(st, windows)
+	if err != nil {
+		return
+	}
+	e.warm.Store(mva.WarmFromSolution(sol))
+}
+
+// ResetWarm discards the warm-start seed; the next evaluations use the
+// cold initialisation until the next Commit.
+func (e *Engine) ResetWarm() { e.warm.Store(nil) }

@@ -145,11 +145,20 @@ type Options struct {
 	MaxWindow int
 	// MaxHalvings is the pattern search KMAX; 0 means 2.
 	MaxHalvings int
-	// Workers parallelises the exhaustive search across goroutines
-	// (analytic evaluations are pure, so this is safe); <= 1 is serial.
-	// Ignored by the pattern search, whose moves are sequential by
-	// construction.
+	// Workers parallelises candidate evaluation across goroutines: the
+	// exhaustive search splits its box across Workers, and the pattern
+	// search evaluates each pass's exploratory probes speculatively in
+	// parallel while committing accepts in serial order, so its trajectory
+	// (windows, evaluations, cache behaviour) is identical to the serial
+	// run. Analytic evaluations are pure functions of the candidate, so
+	// both are safe. <= 1 is serial.
 	Workers int
+	// ColdStart disables warm-starting the approximate solvers from the
+	// last accepted base point. Warm starts change per-candidate values
+	// only within the solver tolerance (the fixed point is the same);
+	// ColdStart forces the exact legacy trajectory, at roughly the cold
+	// sweep count per candidate.
+	ColdStart bool
 	// BufferLimits, when non-nil, constrains the search to window
 	// vectors that cannot overflow the given per-node storage limits
 	// even in the worst case: for every node i with limit K_i > 0, the
@@ -173,7 +182,10 @@ type Result struct {
 	// Search is the underlying optimiser trace.
 	Search *pattern.Result
 	// NonConverged counts candidate evaluations whose approximate MVA
-	// fixed point failed to converge (treated as infeasible points).
+	// fixed point failed to converge (treated as infeasible points). Under
+	// Workers > 1 speculative probes the committed trajectory never
+	// consumed are counted too, so the tally can exceed the serial run's;
+	// the search trajectory itself is unaffected.
 	NonConverged int
 }
 
@@ -255,13 +267,17 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			return true
 		}
 	}
+	eng, err := NewEngine(n, opts)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	var nonConverged atomic.Int64
 	objective := func(x numeric.IntVector) (float64, error) {
 		if feasible != nil && !feasible(x) {
 			return math.Inf(1), nil
 		}
-		m, err := Evaluate(n, x, opts)
+		v, err := eng.ObjectiveValue(x, opts.Objective)
 		if err != nil {
 			// A non-converged fixed point marks the candidate as
 			// infeasible rather than aborting the search.
@@ -271,11 +287,10 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			}
 			return 0, err
 		}
-		return objectiveValue(m, opts.Objective), nil
+		return v, nil
 	}
 
 	var sres *pattern.Result
-	var err error
 	switch opts.Search {
 	case ExhaustiveSearch:
 		sres, err = pattern.ExhaustiveParallel(objective, lo, hi, 0, opts.Workers)
@@ -299,12 +314,17 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			}
 			start = ones
 		}
-		sres, err = pattern.Search(objective, start, pattern.Options{
+		popts := pattern.Options{
 			InitialStep: opts.InitialStep,
 			Lo:          lo,
 			Hi:          hi,
 			MaxHalvings: opts.MaxHalvings,
-		})
+			Workers:     opts.Workers,
+		}
+		if eng.useWarm {
+			popts.OnCommit = func(x numeric.IntVector, _ float64) { eng.Commit(x) }
+		}
+		sres, err = pattern.Search(objective, start, popts)
 	}
 	if err != nil {
 		return nil, err
@@ -312,7 +332,7 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	if sres.Best == nil || math.IsInf(sres.BestValue, 1) {
 		return nil, fmt.Errorf("core: no feasible window setting found (evaluator %v)", opts.Evaluator)
 	}
-	metrics, err := Evaluate(n, sres.Best, opts)
+	metrics, err := eng.Evaluate(sres.Best)
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,9 @@ type Table47Row struct {
 	Total   float64
 	Windows numeric.IntVector
 	Power   float64
+	// Evaluations counts the objective evaluations WINDIM spent on the row
+	// (cache hits excluded) — the cost metric the perf trajectory tracks.
+	Evaluations int
 }
 
 // Table47Rates are the symmetric per-class rates of Table 4.7.
@@ -42,6 +45,7 @@ func Table47(opts core.Options) ([]Table47Row, error) {
 		rows = append(rows, Table47Row{
 			S1: s, S2: s, Total: 2 * s,
 			Windows: res.Windows, Power: res.Metrics.Power,
+			Evaluations: res.Search.Evaluations,
 		})
 	}
 	return rows, nil
@@ -68,6 +72,8 @@ type Table48Row struct {
 	Ratio   float64
 	Windows numeric.IntVector
 	Power   float64
+	// Evaluations counts the objective evaluations WINDIM spent on the row.
+	Evaluations int
 }
 
 // Table48Loads are the (S1, S2) pairs of Table 4.8.
@@ -88,6 +94,7 @@ func Table48(opts core.Options) ([]Table48Row, error) {
 		rows = append(rows, Table48Row{
 			S1: p[0], S2: p[1], Total: p[0] + p[1], Ratio: p[1] / p[0],
 			Windows: res.Windows, Power: res.Metrics.Power,
+			Evaluations: res.Search.Evaluations,
 		})
 	}
 	return rows, nil
@@ -121,21 +128,29 @@ var Fig49Windows = []int{1, 2, 3, 4, 5, 6, 7}
 // Fig49Rates is the arrival-rate sweep of Fig. 4.9.
 var Fig49Rates = []float64{2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20, 22.5, 25, 30, 35, 40, 50, 60, 75, 90, 100}
 
-// Fig49 sweeps power against symmetric load for each fixed window.
+// Fig49 sweeps power against symmetric load for each fixed window. The
+// sweep is rate-outer: each rate's network is turned into one core.Engine
+// and every window evaluated against it, so the model is built and
+// validated once per rate instead of once per point.
 func Fig49(opts core.Options) ([]Fig49Series, error) {
-	out := make([]Fig49Series, 0, len(Fig49Windows))
-	for _, e := range Fig49Windows {
-		s := Fig49Series{Window: e}
-		for _, rate := range Fig49Rates {
-			n := topo.Canada2Class(rate, rate)
-			m, err := core.Evaluate(n, numeric.IntVector{e, e}, opts)
+	out := make([]Fig49Series, len(Fig49Windows))
+	for i, e := range Fig49Windows {
+		out[i] = Fig49Series{Window: e}
+	}
+	for _, rate := range Fig49Rates {
+		n := topo.Canada2Class(rate, rate)
+		eng, err := core.NewEngine(n, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig 4.9 at S=%v: %w", rate, err)
+		}
+		for i, e := range Fig49Windows {
+			m, err := eng.Evaluate(numeric.IntVector{e, e})
 			if err != nil {
 				return nil, fmt.Errorf("fig 4.9 at E=%d S=%v: %w", e, rate, err)
 			}
-			s.Rates = append(s.Rates, rate)
-			s.Power = append(s.Power, m.Power)
+			out[i].Rates = append(out[i].Rates, rate)
+			out[i].Power = append(out[i].Power, m.Power)
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }

@@ -41,7 +41,11 @@ func Sensitivity(designLoad float64, sweep []float64, opts core.Options) (numeri
 	rows := make([]SensitivityRow, 0, len(sweep))
 	for _, s := range sweep {
 		n := topo.Canada2Class(s, s)
-		atStatic, err := core.Evaluate(n, static, opts)
+		eng, err := core.NewEngine(n, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sensitivity at S=%v: %w", s, err)
+		}
+		atStatic, err := eng.Evaluate(static)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sensitivity at S=%v: %w", s, err)
 		}

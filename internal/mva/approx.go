@@ -75,6 +75,25 @@ type Options struct {
 	// (1-damping)*old. 0 means 1 (no damping). The undamped iteration
 	// matches the APL program; damping 0.5 rescues rare oscillations.
 	Damping float64
+	// Warm, when non-nil, seeds STEP 1 from a previous solution instead of
+	// the Init rule: queue-length columns are rescaled to the current
+	// populations and throughputs carried over. Chains whose warm column
+	// is degenerate (or a seed whose dimensions do not match) fall back to
+	// the cold initialisation. The fixed point reached agrees with the
+	// cold one to within Tol, not bitwise.
+	Warm *WarmStart
+	// Workspace, when non-nil, supplies preallocated buffers so repeated
+	// solves allocate nothing in steady state. The returned Solution then
+	// aliases workspace storage and is valid only until the next call with
+	// the same workspace; clone (or WarmFromSolution) to retain. Results
+	// are bit-identical with and without a workspace. Not safe for
+	// concurrent use.
+	Workspace *Workspace
+	// Prevalidated promises the network is already validated, supported,
+	// and free of open load (EffectiveClosed applied), skipping those
+	// per-call passes. core.Engine validates and reduces its model once at
+	// construction and sets this for every candidate evaluation.
+	Prevalidated bool
 }
 
 func (o Options) withDefaults() Options {
@@ -98,77 +117,62 @@ var ErrNotConverged = errors.New("mva: approximate MVA did not converge")
 // approximate MVA. Chains with zero population contribute nothing and get
 // zero throughput.
 func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if err := checkSupported(net, false); err != nil {
-		return nil, err
-	}
-	net = net.EffectiveClosed()
 	opts = opts.withDefaults()
+	if !opts.Prevalidated {
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+		if err := checkSupported(net, false); err != nil {
+			return nil, err
+		}
+		net = net.EffectiveClosed()
+	}
 	nSt, nCh := net.N(), net.R()
 
+	ws := opts.Workspace
+	private := ws == nil
+	if private {
+		ws = NewWorkspace()
+	}
+	ws.ensure(nSt, nCh)
+	ws.reset()
+
 	// Active chains: population >= 1.
-	active := make([]bool, nCh)
+	active := ws.active
 	anyActive := false
 	for r := 0; r < nCh; r++ {
-		if net.Chains[r].Population > 0 {
-			active[r] = true
-			anyActive = true
-		}
+		active[r] = net.Chains[r].Population > 0
+		anyActive = anyActive || active[r]
 	}
-	sol := newSolution(nSt, nCh)
+	sol := ws.sol
+	if private {
+		sol = newSolution(nSt, nCh)
+	}
 	if !anyActive {
 		return sol, nil
 	}
 
-	// Initial queue lengths (STEP 1).
-	q := numeric.NewMatrix(nSt, nCh)
+	// STEP 1: initial queue lengths and throughputs — from the warm seed
+	// where one is supplied and usable, the Init rule otherwise.
+	q, lam := ws.q, ws.lam
+	warm := opts.Warm
+	if !warm.matches(nSt, nCh) {
+		warm = nil
+	}
 	for r := 0; r < nCh; r++ {
 		if !active[r] {
 			continue
 		}
 		ch := &net.Chains[r]
-		switch opts.Init {
-		case Bottleneck:
-			best, at := -1.0, -1
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] > 0 && ch.Demand(i) > best {
-					best, at = ch.Demand(i), i
-				}
-			}
-			q.Set(at, r, float64(ch.Population))
-		default: // Balanced
-			cnt := 0
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] > 0 {
-					cnt++
-				}
-			}
-			share := float64(ch.Population) / float64(cnt)
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] > 0 {
-					q.Set(i, r, share)
-				}
-			}
-		}
-	}
-	// Initial throughputs: population over pure service demand (the APL
-	// program's initialisation).
-	lam := numeric.NewVector(nCh)
-	for r := 0; r < nCh; r++ {
-		if !active[r] {
+		if warm != nil && seedChainFromWarm(warm, r, nSt, ch.Population, ch.Visits, q, lam) {
 			continue
 		}
-		d := 0.0
-		for i := 0; i < nSt; i++ {
-			d += net.Chains[r].Demand(i)
+		if err := coldSeedChain(ch, r, nSt, opts.Init, q, lam); err != nil {
+			return nil, err
 		}
-		lam[r] = float64(net.Chains[r].Population) / d
 	}
 
-	t := numeric.NewMatrix(nSt, nCh)
-	sigma := numeric.NewMatrix(nSt, nCh)
+	t, sigma := ws.t, ws.sigma
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		// STEP 2: arrival-instant correction.
 		switch opts.Method {
@@ -183,7 +187,7 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 				}
 			}
 		default: // SigmaHeuristic
-			if err := sigmaFromSingleChains(net, active, lam, sigma); err != nil {
+			if err := sigmaFromSingleChains(ws, net, active, lam, sigma); err != nil {
 				return nil, err
 			}
 		}
@@ -213,7 +217,8 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 			}
 		}
 		// STEP 4: Little for chains.
-		prev := lam.Clone()
+		prev := ws.prev
+		copy(prev, lam)
 		for r := 0; r < nCh; r++ {
 			if !active[r] {
 				continue
@@ -258,6 +263,49 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 		ErrNotConverged, opts.MaxIter, opts.Method, opts.Tol)
 }
 
+// coldSeedChain applies the Init rule (eqs. 4.16–4.17) to chain r and
+// seeds its throughput with population over pure service demand (the APL
+// program's initialisation). A chain with no positive-demand station
+// cannot be placed — the Bottleneck rule used to index q with -1 and
+// panic — so both rules reject it with a validation error.
+func coldSeedChain(ch *qnet.Chain, r, nSt int, init Initialization, q *numeric.Matrix, lam numeric.Vector) error {
+	switch init {
+	case Bottleneck:
+		best, at := -1.0, -1
+		for i := 0; i < nSt; i++ {
+			if ch.Visits[i] > 0 && ch.Demand(i) > best {
+				best, at = ch.Demand(i), i
+			}
+		}
+		if at < 0 {
+			return fmt.Errorf("mva: chain %d (%s) has no station with positive visits and demand; cannot initialise", r, ch.Name)
+		}
+		q.Set(at, r, float64(ch.Population))
+	default: // Balanced
+		cnt := 0
+		for i := 0; i < nSt; i++ {
+			if ch.Visits[i] > 0 {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return fmt.Errorf("mva: chain %d (%s) has no station with positive visits and demand; cannot initialise", r, ch.Name)
+		}
+		share := float64(ch.Population) / float64(cnt)
+		for i := 0; i < nSt; i++ {
+			if ch.Visits[i] > 0 {
+				q.Set(i, r, share)
+			}
+		}
+	}
+	d := 0.0
+	for i := 0; i < nSt; i++ {
+		d += ch.Demand(i)
+	}
+	lam[r] = float64(ch.Population) / d
+	return nil
+}
+
 // sigmaFromSingleChains fills sigma.At(i, r) with the thesis's heuristic
 // estimate: isolate chain r into a single-chain network whose service
 // times are inflated by the other chains' utilisation at each station,
@@ -265,12 +313,17 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 // and take σ_ir = N_i(E_r) - N_i(E_r - 1) (eq. 4.12). For other chains
 // σ_ij(r-) is taken as zero (eq. 4.11), which STEP 3 realises by
 // subtracting sigma only for the arriving chain.
-func sigmaFromSingleChains(net *qnet.Network, active []bool, lam numeric.Vector, sigma *numeric.Matrix) error {
+//
+// The recursion runs through the workspace's per-chain incremental curve
+// cache: sweeps whose inflated service times are unchanged (always true
+// for single-chain networks, whose sub-problem has no inflation) reuse the
+// cached populations instead of recomputing from 1.
+func sigmaFromSingleChains(ws *Workspace, net *qnet.Network, active []bool, lam numeric.Vector, sigma *numeric.Matrix) error {
 	nSt, nCh := net.N(), net.R()
 	const maxRho = 0.999 // clamp: transient iterates can overshoot capacity
-	visits := numeric.NewVector(nSt)
-	servInf := numeric.NewVector(nSt)
-	isStation := make([]bool, nSt)
+	visits := ws.visits
+	servInf := ws.servInf
+	isStation := ws.isStation
 	for i := 0; i < nSt; i++ {
 		isStation[i] = net.Stations[i].Kind == qnet.IS
 	}
@@ -279,12 +332,14 @@ func sigmaFromSingleChains(net *qnet.Network, active []bool, lam numeric.Vector,
 			continue
 		}
 		ch := &net.Chains[r]
+		anyVisit := false
 		for i := 0; i < nSt; i++ {
 			visits[i] = ch.Visits[i]
 			servInf[i] = 0
 			if ch.Visits[i] == 0 {
 				continue
 			}
+			anyVisit = true
 			// IS stations have a server per customer: other chains
 			// occupy them without delaying anyone, so no inflation.
 			if isStation[i] {
@@ -302,13 +357,11 @@ func sigmaFromSingleChains(net *qnet.Network, active []bool, lam numeric.Vector,
 			}
 			servInf[i] = ch.ServTime[i] / (1 - other)
 		}
-		pop := ch.Population
-		curve, err := ExactSingleChain(visits, servInf, isStation, pop)
-		if err != nil {
-			return fmt.Errorf("mva: sigma sub-problem for chain %d: %w", r, err)
+		if !anyVisit {
+			return fmt.Errorf("mva: sigma sub-problem for chain %d: chain visits no station", r)
 		}
-		nAt := curve.At(pop)
-		nPrev := curve.At(pop - 1)
+		pop := ch.Population
+		nAt, nPrev := ws.curveUpTo(r, visits, servInf, isStation, pop)
 		for i := 0; i < nSt; i++ {
 			if ch.Visits[i] > 0 {
 				s := nAt[i] - nPrev[i]

@@ -19,14 +19,16 @@ import (
 // typically an order of magnitude better than Schweitzer at the cost of
 // R+1 core solutions per sweep.
 func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	if err := checkSupported(net, false); err != nil {
-		return nil, err
-	}
-	net = net.EffectiveClosed()
 	opts = opts.withDefaults()
+	if !opts.Prevalidated {
+		if err := net.Validate(); err != nil {
+			return nil, err
+		}
+		if err := checkSupported(net, false); err != nil {
+			return nil, err
+		}
+		net = net.EffectiveClosed()
+	}
 	nSt, nCh := net.N(), net.R()
 
 	pop := net.Populations()
@@ -46,10 +48,17 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 
 	// The classic schedule: three outer sweeps suffice.
 	const sweeps = 3
+	// A warm seed (when its dimensions match) replaces the full-population
+	// core's balanced initialisation; the one-removed cores keep the cold
+	// rule — their populations differ from the seed's anyway.
+	warm := opts.Warm
+	if !warm.matches(nSt, nCh) {
+		warm = nil
+	}
 	var full *coreResult
 	for sweep := 0; sweep < sweeps; sweep++ {
 		var err error
-		full, err = linearizerCore(net, pop, f, opts)
+		full, err = linearizerCore(net, pop, f, opts, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +72,7 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 			}
 			pj := pop.Clone()
 			pj[j]--
-			reduced[j], err = linearizerCore(net, pj, f, opts)
+			reduced[j], err = linearizerCore(net, pj, f, opts, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +123,7 @@ type coreResult struct {
 // given population: the arrival-instant estimate is
 //
 //	N_ij(pop - e_r) ≈ (pop_j - δ_jr) * (q_ij/pop_j + F[i][j][r]).
-func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, opts Options) (*coreResult, error) {
+func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, opts Options, warm *WarmStart) (*coreResult, error) {
 	nSt, nCh := net.N(), net.R()
 	res := &coreResult{
 		lam: numeric.NewVector(nCh),
@@ -124,12 +133,15 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 	if !anyPositive(pop) {
 		return res, nil
 	}
-	// Balanced initialisation.
+	// Balanced initialisation, or the warm seed where usable.
 	for r := 0; r < nCh; r++ {
 		if pop[r] == 0 {
 			continue
 		}
 		ch := &net.Chains[r]
+		if warm != nil && seedChainFromWarm(warm, r, nSt, pop[r], ch.Visits, res.q, res.lam) {
+			continue
+		}
 		cnt := 0
 		for i := 0; i < nSt; i++ {
 			if ch.Visits[i] > 0 {

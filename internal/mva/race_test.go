@@ -1,0 +1,5 @@
+//go:build race
+
+package mva
+
+func init() { raceEnabled = true }

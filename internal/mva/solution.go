@@ -78,6 +78,23 @@ func checkSupported(net *qnet.Network, allowLD bool) error {
 	return nil
 }
 
+// Prevalidate performs the per-call validation work of the approximate
+// solvers once — structural Validate, the supported-station check, and the
+// §3.3.3 mixed-network reduction — and returns the effective closed
+// network, to be solved with Options.Prevalidated set. Validity is
+// independent of chain populations (beyond non-negativity), so the result
+// may be re-solved at any population vector; core.Engine relies on this to
+// strip all three passes from its per-candidate hot path.
+func Prevalidate(net *qnet.Network) (*qnet.Network, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSupported(net, false); err != nil {
+		return nil, err
+	}
+	return net.EffectiveClosed(), nil
+}
+
 // littleCheck is a debug invariant: per-chain populations must match the
 // queue-length totals to within tol. Returns an error naming the first
 // violated chain.

@@ -1,0 +1,225 @@
+package mva
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// WarmStart carries a previously converged solution used to seed STEP 1 of
+// the approximate solvers in place of the balanced/bottleneck
+// initialisation (eqs. 4.16–4.17). The queue-length columns are rescaled
+// to the new chain populations, so a warm start remains valid when
+// neighbouring candidates differ by a step in one window — exactly the
+// structure of successive pattern-search probes, where the fixed points
+// are nearly identical and the iteration converges in a fraction of the
+// cold sweep count.
+//
+// Warm-started results converge to the same fixed point as cold ones only
+// up to the solver tolerance; callers that need bit-deterministic values
+// per candidate (core.Engine under speculative-parallel search) must
+// derive the seed from state that depends only on the committed search
+// trajectory, never on evaluation order.
+type WarmStart struct {
+	// Throughput is the previous solution's chain throughput vector.
+	Throughput numeric.Vector
+	// QueueLen is the previous solution's per-station, per-chain mean
+	// queue-length matrix.
+	QueueLen *numeric.Matrix
+}
+
+// WarmFromSolution clones the parts of a solution a warm start needs. The
+// clone makes the seed immune to workspace reuse: solutions returned from
+// a workspace-backed Approximate call are overwritten by the next call.
+func WarmFromSolution(sol *Solution) *WarmStart {
+	return &WarmStart{
+		Throughput: sol.Throughput.Clone(),
+		QueueLen:   sol.QueueLen.Clone(),
+	}
+}
+
+// matches reports whether the seed's dimensions fit a network with nSt
+// stations and nCh chains.
+func (w *WarmStart) matches(nSt, nCh int) bool {
+	return w != nil && len(w.Throughput) == nCh && w.QueueLen != nil &&
+		w.QueueLen.Rows == nSt && w.QueueLen.Cols == nCh
+}
+
+// Workspace holds every buffer Approximate needs, so that repeated calls
+// — the inner loop of WINDIM's pattern search — run with zero steady-state
+// allocations. A workspace is NOT safe for concurrent use; concurrent
+// evaluators (core.Engine's pool) hold one workspace each.
+//
+// Reusing a workspace never changes results: the buffers are reset per
+// call and the incremental σ-curve cache only short-circuits recursions
+// whose inputs are bit-identical, so a workspace-backed run reproduces the
+// workspace-free run exactly.
+type Workspace struct {
+	nSt, nCh int
+
+	active []bool
+	q      *numeric.Matrix
+	t      *numeric.Matrix
+	sigma  *numeric.Matrix
+	lam    numeric.Vector
+	prev   numeric.Vector
+
+	// σ sub-problem scratch.
+	visits    numeric.Vector
+	servInf   numeric.Vector
+	isStation []bool
+	scT       numeric.Vector
+	scZero    numeric.Vector // never written; N(0) of the recursion
+
+	curves []chainCurve
+
+	// sol is returned by workspace-backed Approximate calls; it is valid
+	// only until the next call with the same workspace.
+	sol *Solution
+}
+
+// chainCurve caches the exact single-chain recursion of one chain's σ
+// sub-problem (eq. 4.12): q[d-1] is the queue-length vector at population
+// d, valid for the stored inflated service times. When a sweep re-solves
+// the sub-problem with bit-identical inflated service times — every sweep
+// in a single-chain network, and the stabilised tail of any fixed point —
+// the cached prefix is reused and only missing populations are extended.
+// Extension reproduces the from-scratch recursion bit for bit, so the
+// cache is purely a time optimisation.
+type chainCurve struct {
+	valid   bool
+	servInf numeric.Vector
+	n       int              // populations 1..n are valid
+	q       []numeric.Vector // backing buffers, reused across invalidations
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized lazily from
+// the first network solved with it.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the buffers for an nSt-station, nCh-chain network,
+// reallocating only on dimension change.
+func (w *Workspace) ensure(nSt, nCh int) {
+	if w.nSt == nSt && w.nCh == nCh {
+		return
+	}
+	w.nSt, w.nCh = nSt, nCh
+	w.active = make([]bool, nCh)
+	w.q = numeric.NewMatrix(nSt, nCh)
+	w.t = numeric.NewMatrix(nSt, nCh)
+	w.sigma = numeric.NewMatrix(nSt, nCh)
+	w.lam = numeric.NewVector(nCh)
+	w.prev = numeric.NewVector(nCh)
+	w.visits = numeric.NewVector(nSt)
+	w.servInf = numeric.NewVector(nSt)
+	w.isStation = make([]bool, nSt)
+	w.scT = numeric.NewVector(nSt)
+	w.scZero = numeric.NewVector(nSt)
+	w.curves = make([]chainCurve, nCh)
+	w.sol = newSolution(nSt, nCh)
+}
+
+// reset clears the per-call numeric state (the curve cache survives: its
+// hits are input-keyed and bit-faithful, see chainCurve).
+func (w *Workspace) reset() {
+	w.q.Zero()
+	w.t.Zero()
+	w.lam.Zero()
+	w.sol.Throughput.Zero()
+	w.sol.QueueLen.Zero()
+	w.sol.QueueTime.Zero()
+	w.sol.Iterations = 0
+}
+
+// curveUpTo returns the σ sub-problem's mean queue lengths at populations
+// pop and pop-1 for chain r, extending or rebuilding the cached recursion
+// as needed. visits/servInf/isStation describe the inflated single-chain
+// problem; the returned vectors alias workspace storage.
+func (w *Workspace) curveUpTo(r int, visits, servInf numeric.Vector, isStation []bool, pop int) (nAt, nPrev numeric.Vector) {
+	c := &w.curves[r]
+	if !c.valid || !vectorsEqual(c.servInf, servInf) {
+		c.valid = true
+		if c.servInf == nil {
+			c.servInf = numeric.NewVector(len(servInf))
+		}
+		copy(c.servInf, servInf)
+		c.n = 0
+	}
+	for d := c.n + 1; d <= pop; d++ {
+		if len(c.q) < d {
+			c.q = append(c.q, numeric.NewVector(w.nSt))
+		}
+		prev := w.scZero
+		if d > 1 {
+			prev = c.q[d-2]
+		}
+		// The exact single-chain MVA step, in ExactSingleChain's exact
+		// arithmetic order so cached and uncached runs agree bitwise.
+		t := w.scT
+		denom := 0.0
+		for i := range visits {
+			if visits[i] == 0 {
+				continue
+			}
+			if isStation[i] {
+				t[i] = servInf[i]
+			} else {
+				t[i] = servInf[i] * (1 + prev[i])
+			}
+			denom += visits[i] * t[i]
+		}
+		lam := float64(d) / denom
+		q := c.q[d-1]
+		for i := range visits {
+			if visits[i] > 0 {
+				q[i] = lam * visits[i] * t[i]
+			} else {
+				q[i] = 0
+			}
+		}
+	}
+	if pop > c.n {
+		c.n = pop
+	}
+	nAt = c.q[pop-1]
+	nPrev = w.scZero
+	if pop > 1 {
+		nPrev = c.q[pop-2]
+	}
+	return nAt, nPrev
+}
+
+func vectorsEqual(a, b numeric.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seedChainFromWarm seeds chain r's STEP-1 state from a warm start,
+// rescaling the queue-length column to the chain's current population. It
+// reports false (leaving q and lam untouched) when the warm column is
+// degenerate, so the caller can fall back to the cold initialisation.
+func seedChainFromWarm(warm *WarmStart, r, nSt, pop int, visits []float64, q *numeric.Matrix, lam numeric.Vector) bool {
+	colSum := 0.0
+	for i := 0; i < nSt; i++ {
+		colSum += warm.QueueLen.At(i, r)
+	}
+	wl := warm.Throughput[r]
+	if !(colSum > 0) || math.IsInf(colSum, 0) || !(wl > 0) || math.IsInf(wl, 0) {
+		return false
+	}
+	scale := float64(pop) / colSum
+	for i := 0; i < nSt; i++ {
+		if visits[i] > 0 {
+			q.Set(i, r, warm.QueueLen.At(i, r)*scale)
+		}
+	}
+	lam[r] = wl
+	return true
+}

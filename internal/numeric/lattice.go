@@ -125,9 +125,22 @@ func LatticeIndex(p, bound IntVector) int {
 // visited before p). The same IntVector is reused across calls; callers
 // must Clone it if they retain it.
 func LatticeWalk(bound IntVector, visit func(p IntVector)) {
+	LatticeWalkUntil(bound, func(p IntVector) bool {
+		visit(p)
+		return true
+	})
+}
+
+// LatticeWalkUntil walks the lattice in LatticeWalk's order but stops as
+// soon as visit returns false, so callers that hit an error mid-walk do
+// not pay for the rest of the box. The same IntVector is reused across
+// calls; callers must Clone it if they retain it.
+func LatticeWalkUntil(bound IntVector, visit func(p IntVector) bool) {
 	p := NewIntVector(len(bound))
 	for {
-		visit(p)
+		if !visit(p) {
+			return
+		}
 		// Odometer increment (last index fastest). Lexicographic order
 		// dominates: incrementing any digit moves strictly upward in the
 		// dominance-compatible order because all lower digits reset to 0.

@@ -27,6 +27,13 @@ func (v Vector) Clone() Vector {
 	return w
 }
 
+// Zero sets every element to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // Sum returns the sum of all elements.
 func (v Vector) Sum() float64 {
 	s := 0.0
@@ -132,6 +139,13 @@ func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
 
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
 
 // Clone returns an independent copy of m.
 func (m *Matrix) Clone() *Matrix {

@@ -42,8 +42,28 @@ type Options struct {
 	// 0 is interpreted as the default 2.
 	MaxHalvings int
 	// MaxEvaluations bounds objective calls (cache hits excluded);
-	// <= 0 means 100000.
+	// <= 0 means 100000. Under speculative exploration (Workers > 1) the
+	// bound applies to the committed serial trajectory: discarded
+	// speculative probes call the objective without consuming budget.
 	MaxEvaluations int
+	// Workers > 1 enables speculative-parallel exploration: the up-to-2R
+	// exploratory probes of each pass are evaluated concurrently by at
+	// most Workers goroutines, then acceptance decisions replay in exact
+	// serial order against the speculative results. The objective must be
+	// safe for concurrent calls and a pure function of its argument; in
+	// return the search trajectory — Best, BestValue, BasePoints,
+	// Evaluations, CacheHits, and the memo-cache contents — is
+	// bit-identical to the serial search. Probes the serial order never
+	// reaches are wasted objective calls (the price of speculation); their
+	// values, and any errors they return, are discarded. <= 1 is serial.
+	Workers int
+	// OnCommit, when non-nil, is invoked serially each time the search
+	// commits a new base point (including the clamped start point), with a
+	// private copy of the point and its objective value. All speculative
+	// evaluations of the enclosing pass have completed by the time it
+	// runs, so the callback may safely mutate state the objective reads —
+	// core.Engine promotes its warm-start seed here.
+	OnCommit func(x numeric.IntVector, fx float64)
 }
 
 func (o Options) withDefaults(dim int) (Options, error) {
@@ -109,11 +129,71 @@ type searcher struct {
 	opts   Options
 	cache  map[string]float64
 	result *Result
+	sem    chan struct{} // nil when serial; bounds speculative goroutines
+}
+
+// future is one speculative objective evaluation in flight.
+type future struct {
+	done chan struct{}
+	v    float64
+	err  error
+}
+
+// speculation holds the in-flight exploratory probes of one pass.
+type speculation struct {
+	futures map[string]*future
+	wg      sync.WaitGroup
+}
+
+// wait blocks until every speculative goroutine of the pass has finished,
+// consumed or not. explore defers it so that no objective call is in
+// flight when the pass returns — the barrier OnCommit's contract (and
+// core.Engine's warm-seed promotion) relies on.
+func (sp *speculation) wait() {
+	if sp != nil {
+		sp.wg.Wait()
+	}
+}
+
+// speculate launches the up-to-2R exploratory probes about x concurrently.
+// Points outside the box or already memoised are skipped — the serial
+// replay answers those without calling the objective.
+func (s *searcher) speculate(x numeric.IntVector, step numeric.IntVector) *speculation {
+	sp := &speculation{futures: make(map[string]*future, 2*len(x))}
+	for i := range x {
+		for _, dir := range [2]int{1, -1} {
+			p := x.Clone()
+			p[i] += dir * step[i]
+			if p[i] < s.opts.Lo[i] || (s.opts.Hi != nil && p[i] > s.opts.Hi[i]) {
+				continue
+			}
+			key := p.Key()
+			if _, ok := s.cache[key]; ok {
+				continue
+			}
+			if _, ok := sp.futures[key]; ok {
+				continue
+			}
+			f := &future{done: make(chan struct{})}
+			sp.futures[key] = f
+			sp.wg.Add(1)
+			go func(p numeric.IntVector, f *future) {
+				defer sp.wg.Done()
+				defer close(f.done)
+				s.sem <- struct{}{}
+				defer func() { <-s.sem }()
+				f.v, f.err = s.obj(p)
+			}(p, f)
+		}
+	}
+	return sp
 }
 
 // eval returns the (memoised) objective at x; out-of-box points are +Inf
-// and never reach the objective.
-func (s *searcher) eval(x numeric.IntVector) (float64, error) {
+// and never reach the objective. When sp carries a speculative result for
+// x it is consumed in place of a fresh objective call; budget accounting
+// and cache insertion happen exactly as in the serial search.
+func (s *searcher) eval(x numeric.IntVector, sp *speculation) (float64, error) {
 	for i := range x {
 		if x[i] < s.opts.Lo[i] || (s.opts.Hi != nil && x[i] > s.opts.Hi[i]) {
 			return math.Inf(1), nil
@@ -128,7 +208,18 @@ func (s *searcher) eval(x numeric.IntVector) (float64, error) {
 		return 0, fmt.Errorf("%w (%d evaluations)", ErrBudget, s.result.Evaluations)
 	}
 	s.result.Evaluations++
-	v, err := s.obj(x.Clone())
+	var v float64
+	var err error
+	if sp != nil {
+		if f, ok := sp.futures[key]; ok {
+			<-f.done
+			v, err = f.v, f.err
+		} else {
+			v, err = s.obj(x.Clone())
+		}
+	} else {
+		v, err = s.obj(x.Clone())
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -139,15 +230,31 @@ func (s *searcher) eval(x numeric.IntVector) (float64, error) {
 	return v, nil
 }
 
+// commit records a newly accepted base point and notifies OnCommit.
+func (s *searcher) commit(x numeric.IntVector, fx float64) {
+	s.result.BasePoints = append(s.result.BasePoints, x.Clone())
+	if s.opts.OnCommit != nil {
+		s.opts.OnCommit(x.Clone(), fx)
+	}
+}
+
 // explore performs one exploratory pass about x (value fx): each
 // coordinate in turn is increased then decreased by its step, keeping any
-// strict improvement. It returns the final point and value.
+// strict improvement. It returns the final point and value. With Workers
+// > 1 the pass's probes are evaluated speculatively in parallel first;
+// the serial loop below then replays acceptance decisions against the
+// speculative results, so the trajectory is identical to the serial pass.
 func (s *searcher) explore(x numeric.IntVector, fx float64, step numeric.IntVector) (numeric.IntVector, float64, error) {
+	var sp *speculation
+	if s.sem != nil {
+		sp = s.speculate(x, step)
+		defer sp.wait()
+	}
 	cur := x.Clone()
 	for i := range cur {
 		orig := cur[i]
 		cur[i] = orig + step[i]
-		fp, err := s.eval(cur)
+		fp, err := s.eval(cur, sp)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -156,7 +263,7 @@ func (s *searcher) explore(x numeric.IntVector, fx float64, step numeric.IntVect
 			continue
 		}
 		cur[i] = orig - step[i]
-		fm, err := s.eval(cur)
+		fm, err := s.eval(cur, sp)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -182,6 +289,9 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 		return nil, err
 	}
 	s := &searcher{obj: obj, opts: opts, cache: make(map[string]float64), result: &Result{}}
+	if opts.Workers > 1 {
+		s.sem = make(chan struct{}, opts.Workers)
+	}
 
 	// Clamp the start into the box.
 	base := start.Clone()
@@ -193,14 +303,14 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 			base[i] = opts.Hi[i]
 		}
 	}
-	fBase, err := s.eval(base)
+	fBase, err := s.eval(base, nil)
 	if err != nil {
 		return nil, err
 	}
 	if math.IsInf(fBase, 1) {
 		return nil, errors.New("pattern: objective is +Inf at the start point")
 	}
-	s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+	s.commit(base, fBase)
 
 	step := opts.InitialStep.Clone()
 	halvings := 0
@@ -214,13 +324,13 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 			// each projected point (Fig. 4.3/4.4).
 			prev := base
 			base, fBase = cand, fCand
-			s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+			s.commit(base, fBase)
 			for {
 				probe := base.Clone()
 				for i := range probe {
 					probe[i] += base[i] - prev[i]
 				}
-				fProbe, err := s.eval(probe)
+				fProbe, err := s.eval(probe, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -231,7 +341,7 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 				if fCand2 < fBase {
 					prev = base
 					base, fBase = cand2, fCand2
-					s.result.BasePoints = append(s.result.BasePoints, base.Clone())
+					s.commit(base, fBase)
 					continue
 				}
 				break
@@ -377,10 +487,7 @@ func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result
 	}
 	res := &Result{BestValue: math.Inf(1)}
 	var firstErr error
-	numeric.LatticeWalk(span, func(p numeric.IntVector) {
-		if firstErr != nil {
-			return
-		}
+	numeric.LatticeWalkUntil(span, func(p numeric.IntVector) bool {
 		x := p.Clone()
 		for i := range x {
 			x[i] += lo[i]
@@ -389,12 +496,13 @@ func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result
 		v, err := obj(x)
 		if err != nil {
 			firstErr = err
-			return
+			return false
 		}
 		if v < res.BestValue {
 			res.BestValue = v
 			res.Best = x
 		}
+		return true
 	})
 	if firstErr != nil {
 		return nil, firstErr

@@ -37,15 +37,31 @@ type Metrics struct {
 // path (source queue, acknowledgement station) left out of the network
 // delay; a nil entry counts every station as network.
 func FromSolution(net *qnet.Network, sol *mva.Solution, excluded [][]int) (*Metrics, error) {
+	m := &Metrics{}
+	if err := FromSolutionInto(m, net, sol, excluded); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromSolutionInto is FromSolution writing into a caller-owned Metrics,
+// reusing its slices when they are large enough — the zero-allocation path
+// core.Engine takes for every search candidate.
+func FromSolutionInto(m *Metrics, net *qnet.Network, sol *mva.Solution, excluded [][]int) error {
 	if len(excluded) != net.R() {
-		return nil, fmt.Errorf("power: %d exclusion lists for %d chains", len(excluded), net.R())
+		return fmt.Errorf("power: %d exclusion lists for %d chains", len(excluded), net.R())
 	}
-	m := &Metrics{
-		ClassThroughput: make([]float64, net.R()),
-		ClassDelay:      make([]float64, net.R()),
+	nCh := net.R()
+	if cap(m.ClassThroughput) >= nCh && cap(m.ClassDelay) >= nCh {
+		m.ClassThroughput = m.ClassThroughput[:nCh]
+		m.ClassDelay = m.ClassDelay[:nCh]
+	} else {
+		m.ClassThroughput = make([]float64, nCh)
+		m.ClassDelay = make([]float64, nCh)
 	}
+	m.Throughput, m.Delay, m.Power = 0, 0, 0
 	totalN := 0.0
-	for r := 0; r < net.R(); r++ {
+	for r := 0; r < nCh; r++ {
 		lam := sol.Throughput[r]
 		m.ClassThroughput[r] = lam
 		m.Throughput += lam
@@ -64,6 +80,7 @@ func FromSolution(net *qnet.Network, sol *mva.Solution, excluded [][]int) (*Metr
 			n += sol.QueueLen.At(i, r)
 		}
 		totalN += n
+		m.ClassDelay[r] = 0
 		if lam > 0 {
 			m.ClassDelay[r] = n / lam
 		}
@@ -74,7 +91,7 @@ func FromSolution(net *qnet.Network, sol *mva.Solution, excluded [][]int) (*Metr
 	if m.Delay > 0 {
 		m.Power = m.Throughput / m.Delay
 	}
-	return m, nil
+	return nil
 }
 
 // Objective returns the WINDIM objective F = 1/P = Delay/Throughput, with
