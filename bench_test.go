@@ -95,11 +95,11 @@ func BenchmarkScalingArpa(b *testing.B) {
 	}
 }
 
-// BenchmarkRobustness times the assumption-breaking study (12 simulation
-// runs across 6 scenarios).
+// BenchmarkRobustness times the assumption-breaking study (16 simulation
+// runs across 8 scenarios, one replication each).
 func BenchmarkRobustness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Robustness(3); err != nil {
+		if _, err := experiments.Robustness(3, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,157 @@
+// Command benchdiff compares a `paperbench -json` run against a committed
+// baseline and fails when a benchmark regressed beyond the tolerance band.
+// It is the CI perf gate:
+//
+//	paperbench -json bench.json
+//	benchdiff -baseline BENCH_baseline.json -current bench.json
+//
+// Timings are wall-clock and noisy on shared runners, so the time band is
+// wide by default; allocation counts and objective-evaluation counts are
+// deterministic, so their bands are tight. A benchmark present in the
+// baseline but missing from the current run fails the gate (coverage was
+// lost); a new benchmark only in the current run is reported but passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+// benchResult mirrors paperbench's -json entry.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Evaluations int     `json:"evaluations"`
+}
+
+type benchFile struct {
+	Go      string        `json:"go"`
+	Workers int           `json:"workers"`
+	Results []benchResult `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	current := fs.String("current", "", "freshly measured JSON (required)")
+	timeTol := fs.Float64("time-tol", 0.50, "allowed fractional ns/op increase (wall clock is noisy)")
+	allocTol := fs.Float64("alloc-tol", 0.15, "allowed fractional allocs/op increase")
+	evalTol := fs.Float64("eval-tol", 0.25, "allowed fractional objective-evaluation increase")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *current == "" {
+		return fmt.Errorf("-current is required")
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*current)
+	if err != nil {
+		return err
+	}
+	curByName := make(map[string]benchResult, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(base.Results))
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("Benchmark diff — baseline %s (%s) vs current %s (%s)", *baseline, base.Go, *current, cur.Go),
+		Headers: []string{"Benchmark", "ns/op", "Δ%", "allocs/op", "Δ%", "evals", "Δ%", "verdict"},
+	}
+	failures := 0
+	for _, b := range base.Results {
+		baseNames[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			t.AddRow(b.Name, "-", "-", "-", "-", "-", "-", "MISSING")
+			failures++
+			continue
+		}
+		verdict := "ok"
+		dTime := frac(c.NsPerOp, b.NsPerOp)
+		dAlloc := frac(float64(c.AllocsPerOp), float64(b.AllocsPerOp))
+		dEval := frac(float64(c.Evaluations), float64(b.Evaluations))
+		if dTime > *timeTol {
+			verdict = "SLOWER"
+			failures++
+		} else if dAlloc > *allocTol {
+			verdict = "MORE ALLOCS"
+			failures++
+		} else if dEval > *evalTol {
+			verdict = "MORE EVALS"
+			failures++
+		}
+		t.AddRow(b.Name,
+			report.Float(c.NsPerOp, 0), pct(dTime),
+			fmt.Sprint(c.AllocsPerOp), pct(dAlloc),
+			fmt.Sprint(c.Evaluations), pct(dEval),
+			verdict)
+	}
+	for _, c := range cur.Results {
+		if !baseNames[c.Name] {
+			t.AddRow(c.Name, report.Float(c.NsPerOp, 0), "-",
+				fmt.Sprint(c.AllocsPerOp), "-", fmt.Sprint(c.Evaluations), "-", "new")
+		}
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance (time %+.0f%%, allocs %+.0f%%, evals %+.0f%%)",
+			failures, *timeTol*100, *allocTol*100, *evalTol*100)
+	}
+	fmt.Printf("\nall %d benchmarks within tolerance\n", len(base.Results))
+	return nil
+}
+
+// frac returns the fractional increase of cur over base; a zero or
+// negative base compares only for increases from nothing (any positive
+// cur over a zero base counts as +inf-like 1e9, a sentinel the tolerances
+// always catch — a benchmark that allocated nothing must stay that way).
+func frac(cur, base float64) float64 {
+	if base <= 0 {
+		if cur <= 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return cur/base - 1
+}
+
+func pct(f float64) string {
+	if f >= 1e9 {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &f, nil
+}

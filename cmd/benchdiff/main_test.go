@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{"go":"go1.24.0","workers":4,"results":[
+	{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+	{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`
+
+func TestBenchdiffWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1200,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+		{"name":"B","ns_per_op":1900,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err != nil {
+		t.Fatalf("in-band diff failed: %v", err)
+	}
+}
+
+func TestBenchdiffTimeRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":9000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+		{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`)
+	err := run([]string{"-baseline", base, "-current", cur})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("9x slowdown passed the gate: %v", err)
+	}
+}
+
+func TestBenchdiffZeroAllocBaseline(t *testing.T) {
+	// A benchmark the baseline records as allocation-free must stay that
+	// way: any allocation trips the gate regardless of tolerance.
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+		{"name":"B","ns_per_op":2000,"allocs_per_op":3,"bytes_per_op":64,"evaluations":0}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err == nil {
+		t.Fatal("new allocations on a zero-alloc benchmark passed the gate")
+	}
+}
+
+func TestBenchdiffMissingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err == nil {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+}
+
+func TestBenchdiffNewBenchmarkAllowed(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+		{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0},
+		{"name":"C","ns_per_op":500,"allocs_per_op":1,"bytes_per_op":8,"evaluations":1}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err != nil {
+		t.Fatalf("new benchmark failed the gate: %v", err)
+	}
+}
+
+func TestBenchdiffEvalRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":9},
+		{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err == nil {
+		t.Fatal("80% more objective evaluations passed the gate")
+	}
+}

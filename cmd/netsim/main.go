@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/cliutil"
+	"repro/internal/netmodel"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -40,8 +43,13 @@ func run(args []string) error {
 	lengthCV := fs.Float64("length-cv", 0, "message-length coefficient of variation (0 = exponential)")
 	burstiness := fs.Float64("burstiness", 0, "on-off source peak factor B (0 = Poisson)")
 	burstOn := fs.Float64("burst-on", 0, "mean on-period seconds when bursty (default 1)")
+	reps := fs.Int("reps", 1, "independent replications (each with a derived sub-seed); >1 reports replication means with 95% CIs")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole batch, e.g. 30s (0 = none); on expiry the completed replications are reported")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps must be at least 1, got %d", *reps)
 	}
 	rateVec, err := cliutil.ParseRates(*rates)
 	if err != nil {
@@ -80,13 +88,30 @@ func run(args []string) error {
 			cfg.NodeBuffers[i] = *buffers
 		}
 	}
-	res, err := sim.Run(n, cfg)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	batch, batchErr := sim.RunReplications(ctx, n, cfg, *reps, runtime.NumCPU())
+	if batch == nil {
+		return batchErr
+	}
+	if batchErr != nil {
+		// Cancelled mid-batch: report what completed.
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", batchErr)
 	}
 
 	fmt.Printf("network: %s, %s source, %.0f s simulated (%.0f s warmup), seed %d\n\n",
 		n.Name, cfg.Source, *duration, *warmup, *seed)
+	if *reps > 1 {
+		return printBatch(n, batch, *reps)
+	}
+	res := batch.Reps[0].Result
+	if res == nil {
+		return batch.Reps[0].Err
+	}
 	ct := &report.Table{
 		Title:   "Per-class results",
 		Headers: []string{"Class", "Offered", "Throughput", "Delay (s)", "±CI95", "In network", "Backlog"},
@@ -118,6 +143,40 @@ func run(args []string) error {
 		report.Float(res.Throughput, 3), report.Float(res.Delay, 5), report.Float(res.Power, 1))
 	if res.Deadlocked {
 		fmt.Println("WARNING: the run ended in store-and-forward deadlock")
+	}
+	return nil
+}
+
+// printBatch renders the aggregate view of a multi-replication run:
+// replication means with Student-t 95% half-widths instead of the
+// single-run detail tables.
+func printBatch(n *netmodel.Network, b *sim.BatchResult, reps int) error {
+	fmt.Printf("replications: %d completed, %d failed (of %d requested)\n\n",
+		b.Completed, b.Failed, reps)
+	ct := &report.Table{
+		Title:   "Per-class results (replication means, 95% CI)",
+		Headers: []string{"Class", "Throughput", "±CI95", "Delay (s)", "±CI95"},
+	}
+	for r := range b.PerClass {
+		c := &b.PerClass[r]
+		ct.AddRow(n.Classes[r].Name,
+			report.Float(c.Throughput, 2), report.Float(c.ThroughputCI95, 2),
+			report.Float(c.Delay, 5), report.Float(c.DelayCI95, 5))
+	}
+	if _, err := ct.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nnetwork throughput: %s ±%s msg/s, delay: %s ±%s s, power: %s ±%s\n",
+		report.Float(b.Throughput, 3), report.Float(b.ThroughputCI95, 3),
+		report.Float(b.Delay, 5), report.Float(b.DelayCI95, 5),
+		report.Float(b.Power, 1), report.Float(b.PowerCI95, 1))
+	if b.Deadlocked > 0 {
+		fmt.Printf("WARNING: %d replication(s) ended in store-and-forward deadlock\n", b.Deadlocked)
+	}
+	for i := range b.Reps {
+		if b.Reps[i].Err != nil {
+			fmt.Printf("replication %d failed: %v\n", i, b.Reps[i].Err)
+		}
 	}
 	return nil
 }

@@ -150,7 +150,7 @@ func run(args []string) error {
 		return err
 	}
 	if err := runIf(*all || *robustness, func() error {
-		rows, err := experiments.Robustness(3)
+		rows, err := experiments.Robustness(3, 3)
 		if err != nil {
 			return err
 		}

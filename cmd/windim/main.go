@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +40,7 @@ func run(args []string) error {
 	spec := fs.String("spec", "", "JSON network spec file")
 	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
 	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
-	evaluator := fs.String("evaluator", "sigma", "candidate evaluator: sigma, schweitzer, exact")
+	evaluator := fs.String("evaluator", "sigma", "candidate evaluator: sigma, schweitzer, linearizer, exact")
 	search := fs.String("search", "pattern", "optimiser: pattern, exhaustive")
 	objective := fs.String("objective", "power", "criterion: power, min-class, sum-class")
 	maxWindow := fs.Int("max-window", 0, "upper bound on every window (0 = default)")
@@ -47,6 +48,8 @@ func run(args []string) error {
 	start := fs.String("start", "", "initial windows for the pattern search (default: hop counts)")
 	trace := fs.Bool("trace", false, "print the pattern-search base-point trace")
 	sweep := fs.String("sweep", "", "comma-separated load scale factors; dimensions the network at each (e.g. 0.5,1,2)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the search, e.g. 10s (0 = none); on expiry the best-so-far windows are reported")
+	noFallback := fs.Bool("no-fallback", false, "disable the resilient solver chain (non-converged candidates fail immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,12 +61,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxWindow: *maxWindow, Workers: *workers}
+	opts := core.Options{MaxWindow: *maxWindow, Workers: *workers, DisableFallback: *noFallback}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
 	switch *evaluator {
 	case "sigma":
 		opts.Evaluator = core.EvalSigmaMVA
 	case "schweitzer":
 		opts.Evaluator = core.EvalSchweitzerMVA
+	case "linearizer":
+		opts.Evaluator = core.EvalLinearizerMVA
 	case "exact":
 		opts.Evaluator = core.EvalExactMVA
 	default:
@@ -105,7 +115,12 @@ func run(args []string) error {
 
 	res, err := core.Dimension(n, opts)
 	if err != nil {
-		return err
+		if res == nil {
+			return err
+		}
+		// Deadline expired mid-search: the partial result still carries
+		// the best window vector found before cancellation.
+		fmt.Fprintf(os.Stderr, "windim: %v (reporting best-so-far)\n", err)
 	}
 	kw := core.KleinrockWindows(n)
 	base, err := core.Evaluate(n, kw, opts)
@@ -139,6 +154,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("\nsearch: %d objective evaluations, %d cache hits, %d non-converged candidates\n",
 		res.Search.Evaluations, res.Search.CacheHits, res.NonConverged)
+	if rescued := res.Fallbacks.Rescued(); rescued > 0 {
+		fmt.Printf("fallback chain: %d candidate(s) rescued (%v)\n", rescued, res.Fallbacks)
+	}
 	if *trace {
 		fmt.Println("base points:")
 		for _, p := range res.Search.BasePoints {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,8 +39,12 @@ type Engine struct {
 	ref      *qnet.Network // prevalidated effective-closed reference model
 	excluded [][]int
 	useWarm  bool
+	useChain bool // resilient fallback chain on ErrNotConverged
 	warm     atomic.Pointer[mva.WarmStart]
 	pool     sync.Pool
+	// tiers counts successful evaluations per fallback tier (see
+	// FallbackTier). Atomic: Evaluate/ObjectiveValue run concurrently.
+	tiers [NumFallbackTiers]atomic.Int64
 }
 
 // evalState is one borrowed evaluation context: a model view sharing the
@@ -85,6 +90,9 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		// reproductions of the legacy cold trajectory, so neither seeds
 		// from previous candidates.
 		useWarm: opts.Evaluator != EvalExactMVA && !opts.ColdStart,
+		// The exact recursion is iteration-free: there is nothing to fall
+		// back from.
+		useChain: opts.Evaluator != EvalExactMVA && !opts.DisableFallback,
 	}
 	e.pool.New = func() any {
 		st := &evalState{
@@ -102,14 +110,18 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 
 // solve borrows nothing: st is caller-owned. It sets the populations and
 // runs the configured solver, warm-seeded from the last committed base
-// point when enabled.
-func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution, error) {
+// point when enabled. On a convergence failure the resilient fallback
+// chain (fallback.go) takes over; the returned tier names who answered.
+// Every tier is a deterministic function of (committed warm seed,
+// candidate), so the chain preserves the engine's purity contract and the
+// speculative-parallel search stays bit-identical to the serial one.
+func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution, FallbackTier, error) {
 	if len(windows) != e.nCls {
-		return nil, fmt.Errorf("core: %d windows for %d classes", len(windows), e.nCls)
+		return nil, TierPrimary, fmt.Errorf("core: %d windows for %d classes", len(windows), e.nCls)
 	}
 	for r := range st.model.Chains {
 		if windows[r] < 0 {
-			return nil, fmt.Errorf("core: negative window %d for class %d", windows[r], r)
+			return nil, TierPrimary, fmt.Errorf("core: negative window %d for class %d", windows[r], r)
 		}
 		st.model.Chains[r].Population = windows[r]
 	}
@@ -117,45 +129,81 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 	if e.useWarm {
 		warm = e.warm.Load()
 	}
+	var sol *mva.Solution
+	var err error
 	switch e.opts.Evaluator {
 	case EvalExactMVA:
-		return mva.ExactMultichain(&st.model)
+		sol, err = mva.ExactMultichain(&st.model)
 	case EvalSchweitzerMVA:
 		mo := e.opts.MVA
 		mo.Method = mva.Schweitzer
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
-		return mva.Approximate(&st.model, mo)
+		sol, err = mva.Approximate(&st.model, mo)
 	case EvalLinearizerMVA:
 		mo := e.opts.MVA
 		mo.Prevalidated = true
 		mo.Warm = warm
-		return mva.Linearizer(&st.model, mo)
+		sol, err = mva.Linearizer(&st.model, mo)
 	default:
 		mo := e.opts.MVA
 		mo.Method = mva.SigmaHeuristic
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
-		return mva.Approximate(&st.model, mo)
+		sol, err = mva.Approximate(&st.model, mo)
 	}
+	if err != nil && e.useChain && errors.Is(err, mva.ErrNotConverged) {
+		return e.solveFallback(st, warm, err)
+	}
+	return sol, TierPrimary, err
+}
+
+// solveCounted is solve plus the per-tier bookkeeping shared by the
+// public evaluation entry points.
+func (e *Engine) solveCounted(st *evalState, windows numeric.IntVector) (*mva.Solution, FallbackTier, error) {
+	sol, tier, err := e.solve(st, windows)
+	if err == nil {
+		e.tiers[tier].Add(1)
+	}
+	return sol, tier, err
+}
+
+// FallbackCounts reports how many successful evaluations each tier of the
+// resilient chain has answered since the engine was built. Under
+// speculative-parallel search the counts include discarded probes, like
+// Result.NonConverged.
+func (e *Engine) FallbackCounts() FallbackCounts {
+	var c FallbackCounts
+	for t := range e.tiers {
+		c[t] = e.tiers[t].Load()
+	}
+	return c
 }
 
 // Evaluate solves the model at the given windows and returns freshly
 // allocated power metrics (safe to retain).
 func (e *Engine) Evaluate(windows numeric.IntVector) (*power.Metrics, error) {
+	m, _, err := e.EvaluateWithTier(windows)
+	return m, err
+}
+
+// EvaluateWithTier is Evaluate plus the fallback tier that answered —
+// TierPrimary when the configured evaluator converged directly, a later
+// tier when the resilient chain rescued the candidate.
+func (e *Engine) EvaluateWithTier(windows numeric.IntVector) (*power.Metrics, FallbackTier, error) {
 	st := e.pool.Get().(*evalState)
 	defer e.pool.Put(st)
-	sol, err := e.solve(st, windows)
+	sol, tier, err := e.solveCounted(st, windows)
 	if err != nil {
-		return nil, err
+		return nil, tier, err
 	}
 	m := &power.Metrics{}
 	if err := power.FromSolutionInto(m, &st.model, sol, e.excluded); err != nil {
-		return nil, err
+		return nil, tier, err
 	}
-	return m, nil
+	return m, tier, nil
 }
 
 // ObjectiveValue returns the WINDIM objective (1/power under the chosen
@@ -165,7 +213,7 @@ func (e *Engine) Evaluate(windows numeric.IntVector) (*power.Metrics, error) {
 func (e *Engine) ObjectiveValue(windows numeric.IntVector, kind ObjectiveKind) (float64, error) {
 	st := e.pool.Get().(*evalState)
 	defer e.pool.Put(st)
-	sol, err := e.solve(st, windows)
+	sol, _, err := e.solveCounted(st, windows)
 	if err != nil {
 		return 0, err
 	}
@@ -188,7 +236,7 @@ func (e *Engine) Commit(windows numeric.IntVector) {
 	}
 	st := e.pool.Get().(*evalState)
 	defer e.pool.Put(st)
-	sol, err := e.solve(st, windows)
+	sol, _, err := e.solve(st, windows)
 	if err != nil {
 		return
 	}

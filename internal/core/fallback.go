@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mva"
+	"repro/internal/numeric"
+)
+
+// FallbackTier identifies which stage of the resilient evaluation chain
+// answered for a candidate window vector. The chain exists because the
+// approximate MVA fixed points can fail to converge on extreme window
+// vectors (very large populations, near-saturated stations); without it a
+// single such candidate poisons the whole dimensioning run — the search
+// either aborts or, marking the point infeasible, walks around a region
+// that is perfectly evaluable by a slightly more careful solver.
+type FallbackTier int
+
+const (
+	// TierPrimary: the configured evaluator converged on the first try.
+	TierPrimary FallbackTier = iota
+	// TierDamped: the same evaluator, retried with halved damping and a
+	// relaxed tolerance — the cheap rescue for oscillating fixed points.
+	TierDamped
+	// TierLinearizer: the Linearizer AMVA (or, when the primary evaluator
+	// already is the Linearizer, a damped Schweitzer fixed point) — a
+	// different iteration map that converges on many inputs the σ and
+	// Schweitzer maps circle around.
+	TierLinearizer
+	// TierExact: the exact multichain recursion, attempted only when the
+	// candidate's population lattice is small enough to enumerate.
+	TierExact
+
+	// NumFallbackTiers is the number of tiers in the chain.
+	NumFallbackTiers = int(TierExact) + 1
+)
+
+func (t FallbackTier) String() string {
+	switch t {
+	case TierPrimary:
+		return "primary"
+	case TierDamped:
+		return "damped-retry"
+	case TierLinearizer:
+		return "linearizer"
+	case TierExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("FallbackTier(%d)", int(t))
+	}
+}
+
+// FallbackCounts tallies successful evaluations per tier. Index with a
+// FallbackTier.
+type FallbackCounts [NumFallbackTiers]int64
+
+// Rescued returns the number of evaluations answered below the primary
+// tier — candidates that would have been lost without the chain.
+func (c FallbackCounts) Rescued() int64 {
+	var n int64
+	for t := TierDamped; t < FallbackTier(NumFallbackTiers); t++ {
+		n += c[t]
+	}
+	return n
+}
+
+func (c FallbackCounts) String() string {
+	return fmt.Sprintf("primary %d, damped %d, linearizer %d, exact %d",
+		c[TierPrimary], c[TierDamped], c[TierLinearizer], c[TierExact])
+}
+
+// Fallback-chain tuning. The retries deliberately relax no further than
+// values that keep results deterministic and physically meaningful: the
+// fixed point reached under damping or a 1e-6 tolerance agrees with the
+// tight one wherever both exist.
+const (
+	// relaxedTol is the loosest convergence threshold a retry uses.
+	relaxedTol = 1e-6
+	// exactFallbackLattice caps the population-lattice size (product of
+	// E_r+1) the exact tier will enumerate; beyond it the chain gives up
+	// rather than spend seconds on one candidate.
+	exactFallbackLattice = 1 << 17
+)
+
+// solveFallback runs the resilient chain after the primary solver returned
+// primaryErr (known to wrap mva.ErrNotConverged). st's model populations
+// are already set to the candidate. Any error that is NOT a convergence
+// failure — a cancelled context above all — aborts the chain immediately.
+func (e *Engine) solveFallback(st *evalState, warm *mva.WarmStart, primaryErr error) (*mva.Solution, FallbackTier, error) {
+	// Tier 1: same method, halved damping, relaxed tolerance. Damping
+	// rescues oscillating iterates; the relaxed threshold rescues limit
+	// cycles whose diameter sits between 1e-8 and 1e-6.
+	mo := e.opts.MVA
+	mo.Prevalidated = true
+	mo.Warm = warm
+	if mo.Damping <= 0 || mo.Damping > 1 {
+		mo.Damping = 1
+	}
+	mo.Damping /= 2
+	if mo.Tol < relaxedTol {
+		mo.Tol = relaxedTol
+	}
+	var sol *mva.Solution
+	var err error
+	switch e.opts.Evaluator {
+	case EvalLinearizerMVA:
+		sol, err = mva.Linearizer(&st.model, mo)
+	case EvalSchweitzerMVA:
+		mo.Method = mva.Schweitzer
+		mo.Workspace = st.ws
+		sol, err = mva.Approximate(&st.model, mo)
+	default:
+		mo.Method = mva.SigmaHeuristic
+		mo.Workspace = st.ws
+		sol, err = mva.Approximate(&st.model, mo)
+	}
+	if err == nil {
+		sol.Solver += "+damped"
+		return sol, TierDamped, nil
+	}
+	if !errors.Is(err, mva.ErrNotConverged) {
+		return nil, TierDamped, err
+	}
+
+	// Tier 2: a different iteration map. Linearizer for the σ/Schweitzer
+	// primaries; a damped Schweitzer core when the primary already is the
+	// Linearizer.
+	if e.opts.Evaluator == EvalLinearizerMVA {
+		mo.Method = mva.Schweitzer
+		mo.Workspace = st.ws
+		sol, err = mva.Approximate(&st.model, mo)
+		if err == nil {
+			sol.Solver += "+fallback"
+		}
+	} else {
+		lo := mo
+		lo.Workspace = nil
+		sol, err = mva.Linearizer(&st.model, lo)
+		if err == nil {
+			sol.Solver = "linearizer+fallback"
+		}
+	}
+	if err == nil {
+		return sol, TierLinearizer, nil
+	}
+	if !errors.Is(err, mva.ErrNotConverged) {
+		return nil, TierLinearizer, err
+	}
+
+	// Tier 3: exact recursion, iteration-free by construction, affordable
+	// only on small population lattices.
+	pops := make(numeric.IntVector, len(st.model.Chains))
+	for r := range st.model.Chains {
+		pops[r] = st.model.Chains[r].Population
+	}
+	if _, lerr := numeric.LatticeSize(pops, exactFallbackLattice); lerr == nil {
+		sol, err = mva.ExactMultichain(&st.model)
+		if err == nil {
+			sol.Solver = "exact-mva+fallback"
+			return sol, TierExact, nil
+		}
+	}
+	// Every tier failed (or the exact lattice is too large): surface the
+	// primary solver's error so callers see the original diagnosis.
+	return nil, TierPrimary, primaryErr
+}

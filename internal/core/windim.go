@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -159,6 +160,21 @@ type Options struct {
 	// ColdStart forces the exact legacy trajectory, at roughly the cold
 	// sweep count per candidate.
 	ColdStart bool
+	// DisableFallback turns off the resilient solver chain: a candidate
+	// whose primary fixed point returns mva.ErrNotConverged then fails
+	// immediately (and is treated as infeasible by the search) instead of
+	// being retried damped, by Linearizer, or by the exact recursion. The
+	// chain is on by default because it only runs where the primary
+	// solver has already failed — it cannot change any converging result.
+	DisableFallback bool
+	// Context, when non-nil, bounds the dimensioning run: it is threaded
+	// through the pattern/exhaustive search and into the MVA fixed-point
+	// loops, so both long searches and stuck solves honour deadlines. On
+	// cancellation Dimension returns the best-so-far Result (when the
+	// search had committed at least one base point) TOGETHER WITH a
+	// non-nil error wrapping ctx.Err() — callers wanting partial answers
+	// must check the Result before the error.
+	Context context.Context
 	// BufferLimits, when non-nil, constrains the search to window
 	// vectors that cannot overflow the given per-node storage limits
 	// even in the worst case: for every node i with limit K_i > 0, the
@@ -182,11 +198,17 @@ type Result struct {
 	// Search is the underlying optimiser trace.
 	Search *pattern.Result
 	// NonConverged counts candidate evaluations whose approximate MVA
-	// fixed point failed to converge (treated as infeasible points). Under
-	// Workers > 1 speculative probes the committed trajectory never
-	// consumed are counted too, so the tally can exceed the serial run's;
-	// the search trajectory itself is unaffected.
+	// fixed point failed to converge EVEN AFTER the fallback chain
+	// (treated as infeasible points). Under Workers > 1 speculative
+	// probes the committed trajectory never consumed are counted too, so
+	// the tally can exceed the serial run's; the search trajectory itself
+	// is unaffected.
 	NonConverged int
+	// Fallbacks tallies, per tier of the resilient chain, how many
+	// candidate evaluations each tier answered (Fallbacks[TierPrimary] is
+	// the ordinary converging majority). Like NonConverged, speculative
+	// probes are included.
+	Fallbacks FallbackCounts
 }
 
 // Evaluate solves the closed-chain model of the network at the given
@@ -267,6 +289,11 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			return true
 		}
 	}
+	if opts.Context != nil {
+		// Thread the deadline into the MVA fixed-point loops too, so a
+		// single stuck solve cannot outlive the search's cancellation.
+		opts.MVA.Context = opts.Context
+	}
 	eng, err := NewEngine(n, opts)
 	if err != nil {
 		return nil, err
@@ -293,7 +320,7 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	var sres *pattern.Result
 	switch opts.Search {
 	case ExhaustiveSearch:
-		sres, err = pattern.ExhaustiveParallel(objective, lo, hi, 0, opts.Workers)
+		sres, err = pattern.ExhaustiveParallelCtx(opts.Context, objective, lo, hi, 0, opts.Workers)
 	default:
 		start := opts.InitialWindows
 		if start == nil {
@@ -320,19 +347,34 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			Hi:          hi,
 			MaxHalvings: opts.MaxHalvings,
 			Workers:     opts.Workers,
+			Context:     opts.Context,
 		}
 		if eng.useWarm {
 			popts.OnCommit = func(x numeric.IntVector, _ float64) { eng.Commit(x) }
 		}
 		sres, err = pattern.Search(objective, start, popts)
 	}
-	if err != nil {
-		return nil, err
+	// A cancelled search may still carry a best-so-far point; any other
+	// error (or cancellation before the first commit) is terminal.
+	searchErr := err
+	if searchErr != nil && (sres == nil || sres.Best == nil) {
+		return nil, searchErr
 	}
 	if sres.Best == nil || math.IsInf(sres.BestValue, 1) {
 		return nil, fmt.Errorf("core: no feasible window setting found (evaluator %v)", opts.Evaluator)
 	}
-	metrics, err := eng.Evaluate(sres.Best)
+	var metrics *power.Metrics
+	if searchErr != nil {
+		// The engine's solvers carry the (now dead) context; re-evaluate
+		// the best-so-far point with a context-free copy of the options so
+		// the partial Result still reports its metrics.
+		clean := opts
+		clean.Context = nil
+		clean.MVA.Context = nil
+		metrics, err = Evaluate(n, sres.Best, clean)
+	} else {
+		metrics, err = eng.Evaluate(sres.Best)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +382,8 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	res.Metrics = metrics
 	res.Search = sres
 	res.NonConverged = int(nonConverged.Load())
-	return res, nil
+	res.Fallbacks = eng.FallbackCounts()
+	return res, searchErr
 }
 
 // KleinrockWindows returns the hop-count window vector (E_r = number of

@@ -1,21 +1,30 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/numeric"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
 // RobustnessRow reports one assumption-breaking scenario: simulated power
-// at the WINDIM windows and at the Kleinrock hop-count windows.
+// at the WINDIM windows and at the Kleinrock hop-count windows, each
+// averaged over the replications with a Student-t 95% half-width.
 type RobustnessRow struct {
 	Scenario string
 	PowerOpt float64
 	PowerHop float64
+	// OptCI95 and HopCI95 are the 95% half-widths across replications
+	// (0 when the row ran a single replication).
+	OptCI95 float64
+	HopCI95 float64
+	// Reps is the number of completed replications behind each power.
+	Reps int
 }
 
 // Robustness answers the question the thesis leaves open: do the windows
@@ -23,9 +32,15 @@ type RobustnessRow struct {
 // assumptions break? The 4-class network is dimensioned once under the
 // model (exponential resampled lengths, Poisson sources), then both the
 // WINDIM and the hop-rule settings are simulated under progressively
-// less ideal traffic. The dimensioning is robust if the WINDIM settings
-// keep their advantage in every row.
-func Robustness(seed uint64) ([]RobustnessRow, error) {
+// less ideal traffic — including injected link outages and capacity
+// degradations the analytic model cannot express at all. Each scenario
+// runs reps independent replications (reps <= 0 means 1) so every power
+// carries a confidence interval. The dimensioning is robust if the
+// WINDIM settings keep their advantage in every row.
+func Robustness(seed uint64, reps int) ([]RobustnessRow, error) {
+	if reps <= 0 {
+		reps = 1
+	}
 	n := topo.Canada4Class(20, 20, 20, 40)
 	res, err := core.Dimension(n, core.Options{})
 	if err != nil {
@@ -33,6 +48,23 @@ func Robustness(seed uint64) ([]RobustnessRow, error) {
 	}
 	hop := core.KleinrockWindows(n)
 	base := sim.Config{Duration: 6000, Warmup: 600, Seed: seed}
+	// simPower runs one window setting under one scenario config and
+	// returns the replication-mean power with its CI — the single body
+	// both the WINDIM and the hop-rule columns share.
+	simPower := func(name string, mod func(*sim.Config), windows numeric.IntVector) (float64, float64, int, error) {
+		cfg := base
+		mod(&cfg)
+		cfg.Windows = windows
+		b, err := sim.RunReplications(context.Background(), n, cfg, reps, reps)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("robustness %q: %w", name, err)
+		}
+		if b.Failed > 0 {
+			return 0, 0, 0, fmt.Errorf("robustness %q: %d/%d replications failed: %w",
+				name, b.Failed, reps, firstReplicationErr(b))
+		}
+		return b.Power, b.PowerCI95, b.Completed, nil
+	}
 	scenarios := []struct {
 		name string
 		mod  func(*sim.Config)
@@ -48,30 +80,45 @@ func Robustness(seed uint64) ([]RobustnessRow, error) {
 			c.CorrelatedLengths = true
 			c.LengthCV = 2
 		}},
+		// Fault scenarios: conditions outside the queueing model entirely.
+		// Channel 0 carries traffic in every class configuration of the
+		// Canada net, so both window settings feel the fault.
+		{"link outage (channel 0 down 600 s)", func(c *sim.Config) {
+			c.Faults = &sim.FaultSpec{Outages: []sim.Outage{{Channel: 0, Start: 2000, End: 2600}}}
+		}},
+		{"degraded trunk (channel 0 at half rate 2000 s)", func(c *sim.Config) {
+			c.Faults = &sim.FaultSpec{Degradations: []sim.Degradation{{Channel: 0, Start: 2000, End: 4000, Factor: 0.5}}}
+		}},
 	}
 	rows := make([]RobustnessRow, 0, len(scenarios))
 	for _, sc := range scenarios {
-		cfgOpt := base
-		sc.mod(&cfgOpt)
-		cfgOpt.Windows = res.Windows
-		opt, err := sim.Run(n, cfgOpt)
+		pOpt, ciOpt, done, err := simPower(sc.name, sc.mod, res.Windows)
 		if err != nil {
-			return nil, fmt.Errorf("robustness %q: %w", sc.name, err)
+			return nil, err
 		}
-		cfgHop := base
-		sc.mod(&cfgHop)
-		cfgHop.Windows = hop
-		hopRes, err := sim.Run(n, cfgHop)
+		pHop, ciHop, _, err := simPower(sc.name, sc.mod, hop)
 		if err != nil {
-			return nil, fmt.Errorf("robustness %q: %w", sc.name, err)
+			return nil, err
 		}
 		rows = append(rows, RobustnessRow{
 			Scenario: sc.name,
-			PowerOpt: opt.Power,
-			PowerHop: hopRes.Power,
+			PowerOpt: pOpt,
+			PowerHop: pHop,
+			OptCI95:  ciOpt,
+			HopCI95:  ciHop,
+			Reps:     done,
 		})
 	}
 	return rows, nil
+}
+
+func firstReplicationErr(b *sim.BatchResult) error {
+	for i := range b.Reps {
+		if b.Reps[i].Err != nil {
+			return b.Reps[i].Err
+		}
+	}
+	return nil
 }
 
 // RenderRobustness prints the scenario table.
@@ -80,12 +127,19 @@ func RenderRobustness(w io.Writer, rows []RobustnessRow) error {
 		Title:   "Robustness — simulated power of WINDIM vs hop-rule windows as model assumptions break (4-class network, S = 20,20,20,40)",
 		Headers: []string{"Scenario", "P(WINDIM)", "P(hop rule)", "Advantage"},
 	}
+	withCI := func(p, ci float64) string {
+		s := report.Float(p, 1)
+		if ci > 0 {
+			s += " ±" + report.Float(ci, 1)
+		}
+		return s
+	}
 	for _, r := range rows {
 		adv := 0.0
 		if r.PowerHop > 0 {
 			adv = r.PowerOpt / r.PowerHop
 		}
-		t.AddRow(r.Scenario, report.Float(r.PowerOpt, 1), report.Float(r.PowerHop, 1),
+		t.AddRow(r.Scenario, withCI(r.PowerOpt, r.OptCI95), withCI(r.PowerHop, r.HopCI95),
 			report.Float(adv, 2)+"x")
 	}
 	_, err := t.WriteTo(w)

@@ -6,17 +6,23 @@ import (
 )
 
 func TestRobustness(t *testing.T) {
-	rows, err := Robustness(3)
+	rows, err := Robustness(3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 {
+	if len(rows) != 8 {
 		t.Fatalf("got %d scenarios", len(rows))
 	}
 	for _, r := range rows {
 		if r.PowerOpt <= 0 || r.PowerHop <= 0 {
 			t.Errorf("%s: degenerate powers %v / %v", r.Scenario, r.PowerOpt, r.PowerHop)
 			continue
+		}
+		if r.Reps != 2 {
+			t.Errorf("%s: %d replications, want 2", r.Scenario, r.Reps)
+		}
+		if r.OptCI95 <= 0 || r.HopCI95 <= 0 {
+			t.Errorf("%s: missing replication CIs (%v / %v)", r.Scenario, r.OptCI95, r.HopCI95)
 		}
 		// The dimensioned windows keep a clear advantage in every
 		// scenario — the robustness claim itself.

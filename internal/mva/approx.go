@@ -1,6 +1,7 @@
 package mva
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -94,6 +95,26 @@ type Options struct {
 	// per-call passes. core.Engine validates and reduces its model once at
 	// construction and sets this for every candidate evaluation.
 	Prevalidated bool
+	// Context, when non-nil, is polled between fixed-point sweeps so a
+	// stuck or slow iteration can be abandoned from outside: the solver
+	// returns an error wrapping ctx.Err(). nil means never cancelled.
+	Context context.Context
+}
+
+// sweepCancelled polls ctx on the first sweep (so a solve never starts
+// against an already-dead context) and every ctxPollInterval sweeps after
+// that — a per-sweep check would put a branch and an atomic load in the
+// hot loop for no benefit; sweeps are microseconds.
+const ctxPollInterval = 128
+
+func sweepCancelled(ctx context.Context, iter int) error {
+	if ctx == nil || (iter != 1 && iter%ctxPollInterval != 0) {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("mva: solve cancelled after %d sweeps: %w", iter, err)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +195,9 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 
 	t, sigma := ws.t, ws.sigma
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := sweepCancelled(opts.Context, iter); err != nil {
+			return nil, err
+		}
 		// STEP 2: arrival-instant correction.
 		switch opts.Method {
 		case Schweitzer:
@@ -249,6 +273,7 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 		// STEP 6: stopping condition.
 		if lam.L2Diff(prev) < opts.Tol {
 			sol.Iterations = iter
+			sol.Solver = opts.Method.String()
 			copy(sol.Throughput, lam)
 			for i := 0; i < nSt; i++ {
 				for r := 0; r < nCh; r++ {

@@ -1,0 +1,63 @@
+package mva
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+// TestSolversHonourCancelledContext: every iterative solver must abandon a
+// solve whose context is already dead, wrapping the context error.
+func TestSolversHonourCancelledContext(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	model, _, err := n.ClosedModel(numeric.IntVector{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Approximate(model, Options{Method: SigmaHeuristic, Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sigma: want context.Canceled, got %v", err)
+	}
+	if _, err := Approximate(model, Options{Method: Schweitzer, Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("schweitzer: want context.Canceled, got %v", err)
+	}
+	if _, err := Linearizer(model, Options{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("linearizer: want context.Canceled, got %v", err)
+	}
+	// A cancelled context is NOT a convergence failure — the resilient
+	// chain must not retry it.
+	_, err = Approximate(model, Options{Method: SigmaHeuristic, Context: ctx})
+	if errors.Is(err, ErrNotConverged) {
+		t.Fatalf("cancellation error %v claims non-convergence", err)
+	}
+}
+
+// TestSolverTagsAndLiveContext: a live context changes nothing, and every
+// solver stamps its name into Solution.Solver.
+func TestSolverTagsAndLiveContext(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	model, _, err := n.ClosedModel(numeric.IntVector{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Approximate(model, Options{Method: SigmaHeuristic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := Approximate(model, Options{Method: SigmaHeuristic, Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range plain.Throughput {
+		if plain.Throughput[r] != ctxed.Throughput[r] {
+			t.Fatalf("context changed chain %d throughput: %v vs %v", r, plain.Throughput[r], ctxed.Throughput[r])
+		}
+	}
+	if plain.Solver != "sigma-heuristic" {
+		t.Fatalf("solver tag %q", plain.Solver)
+	}
+}

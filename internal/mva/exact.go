@@ -47,6 +47,7 @@ func ExactMultichain(net *qnet.Network) (*Solution, error) {
 		stride *= h[r] + 1
 	}
 	sol := newSolution(nSt, nCh)
+	sol.Solver = "exact-mva"
 	t := numeric.NewMatrix(nSt, nCh) // queue times at current point
 	idx := 0
 	numeric.LatticeWalk(h, func(p numeric.IntVector) {

@@ -103,6 +103,7 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 	}
 	sol := newSolution(nSt, nCh)
 	sol.Iterations = full.iterations
+	sol.Solver = "linearizer"
 	copy(sol.Throughput, full.lam)
 	for i := 0; i < nSt; i++ {
 		for r := 0; r < nCh; r++ {
@@ -156,6 +157,9 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 		}
 	}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := sweepCancelled(opts.Context, iter); err != nil {
+			return nil, err
+		}
 		prev := res.lam.Clone()
 		for r := 0; r < nCh; r++ {
 			if pop[r] == 0 {

@@ -29,6 +29,12 @@ type Solution struct {
 	// Iterations counts fixed-point sweeps for the approximate solvers
 	// (0 for exact recursions).
 	Iterations int
+	// Solver names the algorithm that produced the solution ("exact-mva",
+	// "sigma-heuristic", "schweitzer", "linearizer", ...). Resilient
+	// evaluation layers (core.Engine's fallback chain) append a tier
+	// suffix such as "+damped" when the answer did not come from the
+	// configured primary solver.
+	Solver string
 }
 
 func newSolution(n, r int) *Solution {

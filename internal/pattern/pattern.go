@@ -12,6 +12,7 @@
 package pattern
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -64,6 +65,14 @@ type Options struct {
 	// runs, so the callback may safely mutate state the objective reads —
 	// core.Engine promotes its warm-start seed here.
 	OnCommit func(x numeric.IntVector, fx float64)
+	// Context, when non-nil, makes the search cancellable: it is polled
+	// before every objective evaluation, and on cancellation Search
+	// returns the BEST-SO-FAR result (current base point, its value, the
+	// trace accumulated so far) together with a non-nil error wrapping
+	// ctx.Err(). A long dimensioning run under a deadline therefore
+	// degrades to "the best windows found in the time allowed" instead of
+	// nothing. nil means never cancelled.
+	Context context.Context
 }
 
 func (o Options) withDefaults(dim int) (Options, error) {
@@ -194,6 +203,11 @@ func (s *searcher) speculate(x numeric.IntVector, step numeric.IntVector) *specu
 // x it is consumed in place of a fresh objective call; budget accounting
 // and cache insertion happen exactly as in the serial search.
 func (s *searcher) eval(x numeric.IntVector, sp *speculation) (float64, error) {
+	if ctx := s.opts.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("pattern: search cancelled: %w", err)
+		}
+	}
 	for i := range x {
 		if x[i] < s.opts.Lo[i] || (s.opts.Hi != nil && x[i] > s.opts.Hi[i]) {
 			return math.Inf(1), nil
@@ -312,12 +326,25 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 	}
 	s.commit(base, fBase)
 
+	// fail maps an error out of the search loop. Cancellation degrades to
+	// the best-so-far result — the committed base point is always a fully
+	// evaluated, feasible setting — while every other error (a broken
+	// objective, an exhausted budget) aborts with no result, as before.
+	fail := func(err error) (*Result, error) {
+		if ctx := s.opts.Context; ctx != nil && ctx.Err() != nil {
+			s.result.Best = base
+			s.result.BestValue = fBase
+			return s.result, fmt.Errorf("pattern: search cancelled at best-so-far %v: %w", base, ctx.Err())
+		}
+		return nil, err
+	}
+
 	step := opts.InitialStep.Clone()
 	halvings := 0
 	for {
 		cand, fCand, err := s.explore(base, fBase, step)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if fCand < fBase {
 			// Pattern phase: repeat the combined move, exploring about
@@ -332,11 +359,11 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 				}
 				fProbe, err := s.eval(probe, nil)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				cand2, fCand2, err := s.explore(probe, fProbe, step)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				if fCand2 < fBase {
 					prev = base
@@ -372,8 +399,17 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 // this repository are pure functions of their arguments, so WINDIM's
 // objectives qualify. workers < 2 falls back to the serial Exhaustive.
 func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, workers int) (*Result, error) {
+	return ExhaustiveParallelCtx(nil, obj, lo, hi, maxPoints, workers)
+}
+
+// ExhaustiveParallelCtx is ExhaustiveParallel with cancellation: ctx (nil
+// = never cancelled) is polled while scanning, and on cancellation the
+// best point among the evaluations that completed is returned together
+// with a non-nil error wrapping ctx.Err() (or a nil Best if nothing
+// finished).
+func ExhaustiveParallelCtx(ctx context.Context, obj Objective, lo, hi numeric.IntVector, maxPoints, workers int) (*Result, error) {
 	if workers < 2 {
-		return Exhaustive(obj, lo, hi, maxPoints)
+		return ExhaustiveCtx(ctx, obj, lo, hi, maxPoints)
 	}
 	if obj == nil {
 		return nil, errors.New("pattern: nil objective")
@@ -407,6 +443,7 @@ func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, work
 		best    numeric.IntVector
 		bestVal float64
 		bestIdx int
+		done    int // points actually evaluated (for cancelled scans)
 		err     error
 	}
 	if workers > len(points) {
@@ -428,6 +465,10 @@ func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, work
 			p.bestVal = math.Inf(1)
 			p.bestIdx = -1
 			for i := start; i < end; i++ {
+				if ctx != nil && ctx.Err() != nil {
+					p.done = i - start
+					return
+				}
 				v, err := obj(points[i])
 				if err != nil {
 					p.err = err
@@ -438,16 +479,19 @@ func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, work
 					p.best = points[i]
 					p.bestIdx = i
 				}
+				p.done = i - start + 1
 			}
 		}(w, start, end)
 	}
 	wg.Wait()
-	res := &Result{BestValue: math.Inf(1), Evaluations: len(points)}
+	res := &Result{BestValue: math.Inf(1)}
 	bestIdx := -1
+	cancelled := ctx != nil && ctx.Err() != nil
 	for w := range parts {
-		if parts[w].err != nil {
+		if parts[w].err != nil && !cancelled {
 			return nil, parts[w].err
 		}
+		res.Evaluations += parts[w].done
 		// Strict improvement, or equal value at an earlier lattice index,
 		// reproduces the serial tie-break.
 		if parts[w].bestIdx >= 0 &&
@@ -458,6 +502,12 @@ func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, work
 			bestIdx = parts[w].bestIdx
 		}
 	}
+	if cancelled {
+		if math.IsInf(res.BestValue, 1) {
+			res.Best = nil
+		}
+		return res, fmt.Errorf("pattern: exhaustive scan cancelled after %d evaluations: %w", res.Evaluations, ctx.Err())
+	}
 	return res, nil
 }
 
@@ -466,6 +516,14 @@ func ExhaustiveParallel(obj Objective, lo, hi numeric.IntVector, maxPoints, work
 // small boxes; the number of points is capped at maxPoints (<= 0 means
 // 1e6).
 func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result, error) {
+	return ExhaustiveCtx(nil, obj, lo, hi, maxPoints)
+}
+
+// ExhaustiveCtx is Exhaustive with cancellation: ctx (nil = never
+// cancelled) is polled before each evaluation, and on cancellation the
+// best point found so far is returned together with a non-nil error
+// wrapping ctx.Err() (a nil Best if nothing was evaluated).
+func ExhaustiveCtx(ctx context.Context, obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result, error) {
 	if obj == nil {
 		return nil, errors.New("pattern: nil objective")
 	}
@@ -487,7 +545,12 @@ func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result
 	}
 	res := &Result{BestValue: math.Inf(1)}
 	var firstErr error
+	cancelled := false
 	numeric.LatticeWalkUntil(span, func(p numeric.IntVector) bool {
+		if ctx != nil && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
 		x := p.Clone()
 		for i := range x {
 			x[i] += lo[i]
@@ -504,6 +567,9 @@ func Exhaustive(obj Objective, lo, hi numeric.IntVector, maxPoints int) (*Result
 		}
 		return true
 	})
+	if cancelled {
+		return res, fmt.Errorf("pattern: exhaustive scan cancelled after %d evaluations: %w", res.Evaluations, ctx.Err())
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -51,6 +51,20 @@ func (s *Stream) Split(i uint64) *Stream {
 	return NewSeq(h, splitMix64(h+i))
 }
 
+// SubSeed derives the i-th replication seed from a master seed.
+// SubSeed(seed, 0) == seed, so the first replication of a batch reproduces
+// the plain single run with the same master seed; higher indices are
+// SplitMix64-scrambled, giving streams statistically independent of the
+// master's and of each other's. The derivation depends only on (seed, i),
+// never on execution order, which is what makes batched replications
+// deterministic under any worker count.
+func SubSeed(seed, i uint64) uint64 {
+	if i == 0 {
+		return seed
+	}
+	return splitMix64(seed ^ splitMix64(i*0x9e3779b97f4a7c15))
+}
+
 func splitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// Replication is the outcome of one independent replication of a batch.
+// Exactly one of Result and Err is non-nil.
+type Replication struct {
+	// Rep is the replication index in [0, reps).
+	Rep int
+	// Seed is the seed the replication ran under
+	// (rng.SubSeed(cfg.Seed, Rep)).
+	Seed uint64
+	// Result is the replication's measurements when it completed.
+	Result *Result
+	// Err records a failed replication: a Run error, a recovered panic,
+	// or the batch context's cancellation before the replication started.
+	Err error
+}
+
+// ClassAggregate summarises one class across the completed replications
+// of a batch.
+type ClassAggregate struct {
+	// Throughput and Delay are means over replications of the per-
+	// replication class throughput and mean delay; the CI95 fields are
+	// the Student-t 95% half-widths over those replication values (0
+	// with fewer than two completed replications). Replication means are
+	// independent by construction, so unlike the single-run batch-means
+	// CIs these need no within-run independence assumption.
+	Throughput     float64
+	ThroughputCI95 float64
+	Delay          float64
+	DelayCI95      float64
+}
+
+// BatchResult aggregates N independent replications of one configuration.
+type BatchResult struct {
+	// Reps holds every replication in index order, failed ones included.
+	Reps []Replication
+	// Completed and Failed partition len(Reps).
+	Completed int
+	Failed    int
+	// Deadlocked counts completed replications that ended deadlocked.
+	Deadlocked int
+	// Throughput/Delay/Power are means over completed replications of
+	// the run-level aggregates, with Student-t 95% half-widths.
+	Throughput     float64
+	ThroughputCI95 float64
+	Delay          float64
+	DelayCI95      float64
+	Power          float64
+	PowerCI95      float64
+	// PerClass aggregates each class across completed replications.
+	PerClass []ClassAggregate
+}
+
+// RunReplications runs reps independent replications of cfg across at most
+// workers goroutines and aggregates them. Replication i runs with seed
+// rng.SubSeed(cfg.Seed, i), so the batch is a pure function of (network,
+// cfg, reps): worker count and scheduling order cannot change any number,
+// only wall-clock time. Replication 0 reproduces the single Run(n, cfg).
+//
+// The batch is fault-tolerant: a replication that returns an error or
+// panics is recorded in Reps[i].Err and excluded from the aggregates; the
+// others are unaffected. RunReplications returns an error only when no
+// replication completed, or when ctx was cancelled — in the latter case
+// the partial BatchResult (replications finished before cancellation) is
+// returned TOGETHER WITH the error.
+func RunReplications(ctx context.Context, n *netmodel.Network, cfg Config, reps, workers int) (*BatchResult, error) {
+	if reps < 1 {
+		return nil, errors.New("sim: need at least 1 replication")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > reps {
+		workers = reps
+	}
+	out := make([]Replication, reps)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= reps {
+					return
+				}
+				out[i] = runReplication(ctx, n, cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	b := &BatchResult{Reps: out}
+	var thr, del, pow numeric.Welford
+	var clsThr, clsDel []numeric.Welford
+	// Aggregate in replication-index order: Welford means are not
+	// exactly associative in floating point, so a fixed order keeps the
+	// aggregates bit-identical across worker counts.
+	for i := range out {
+		r := &out[i]
+		if r.Err != nil {
+			b.Failed++
+			continue
+		}
+		b.Completed++
+		if r.Result.Deadlocked {
+			b.Deadlocked++
+		}
+		thr.Add(r.Result.Throughput)
+		del.Add(r.Result.Delay)
+		pow.Add(r.Result.Power)
+		if clsThr == nil {
+			clsThr = make([]numeric.Welford, len(r.Result.PerClass))
+			clsDel = make([]numeric.Welford, len(r.Result.PerClass))
+		}
+		for c := range r.Result.PerClass {
+			clsThr[c].Add(r.Result.PerClass[c].Throughput)
+			clsDel[c].Add(r.Result.PerClass[c].MeanDelay)
+		}
+	}
+	if b.Completed == 0 {
+		var first error
+		for i := range out {
+			if out[i].Err != nil {
+				first = out[i].Err
+				break
+			}
+		}
+		return nil, fmt.Errorf("sim: all %d replications failed: %w", reps, first)
+	}
+	ci := func(w *numeric.Welford) float64 {
+		hw, err := w.ConfidenceInterval(0.95)
+		if err != nil {
+			return 0
+		}
+		return hw
+	}
+	b.Throughput, b.ThroughputCI95 = thr.Mean(), ci(&thr)
+	b.Delay, b.DelayCI95 = del.Mean(), ci(&del)
+	b.Power, b.PowerCI95 = pow.Mean(), ci(&pow)
+	b.PerClass = make([]ClassAggregate, len(clsThr))
+	for c := range clsThr {
+		b.PerClass[c] = ClassAggregate{
+			Throughput:     clsThr[c].Mean(),
+			ThroughputCI95: ci(&clsThr[c]),
+			Delay:          clsDel[c].Mean(),
+			DelayCI95:      ci(&clsDel[c]),
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return b, fmt.Errorf("sim: batch cancelled after %d/%d replications: %w", b.Completed, reps, ctx.Err())
+	}
+	return b, nil
+}
+
+// runReplication executes replication rep, converting a panic inside the
+// event loop into a recorded error so one corrupted replication cannot
+// take down the batch.
+func runReplication(ctx context.Context, n *netmodel.Network, cfg Config, rep int) (rr Replication) {
+	rr.Rep = rep
+	rr.Seed = rng.SubSeed(cfg.Seed, uint64(rep))
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			rr.Err = fmt.Errorf("sim: replication %d not started: %w", rep, err)
+			return rr
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			rr.Result = nil
+			rr.Err = fmt.Errorf("sim: replication %d panicked: %v", rep, p)
+		}
+	}()
+	c := cfg
+	c.Seed = rr.Seed
+	rr.Result, rr.Err = Run(n, c)
+	return rr
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// TestReplicationsDeterministicAcrossWorkers is the batch API's core
+// contract: per-replication seeds derive from (master seed, index) alone,
+// so the worker count changes wall-clock time and nothing else.
+func TestReplicationsDeterministicAcrossWorkers(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{Duration: 300, Warmup: 30, Seed: 7, Windows: numeric.IntVector{4, 4}}
+	const reps = 6
+	var ref *BatchResult
+	for _, workers := range []int{1, 3, 8} {
+		b, err := RunReplications(context.Background(), n, cfg, reps, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if b.Completed != reps || b.Failed != 0 {
+			t.Fatalf("workers=%d: %d/%d completed", workers, b.Completed, reps)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if b.Throughput != ref.Throughput || b.Delay != ref.Delay || b.Power != ref.Power ||
+			b.ThroughputCI95 != ref.ThroughputCI95 || b.DelayCI95 != ref.DelayCI95 {
+			t.Fatalf("workers=%d: aggregates differ from workers=1", workers)
+		}
+		for i := range b.Reps {
+			if b.Reps[i].Seed != ref.Reps[i].Seed {
+				t.Fatalf("workers=%d rep %d: seed %d vs %d", workers, i, b.Reps[i].Seed, ref.Reps[i].Seed)
+			}
+			if b.Reps[i].Result.Throughput != ref.Reps[i].Result.Throughput {
+				t.Fatalf("workers=%d rep %d: throughput differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestReplicationZeroMatchesSingleRun: rng.SubSeed(seed, 0) == seed, so a
+// batch's first replication reproduces the plain Run bit for bit.
+func TestReplicationZeroMatchesSingleRun(t *testing.T) {
+	if rng.SubSeed(42, 0) != 42 {
+		t.Fatalf("SubSeed(42, 0) = %d", rng.SubSeed(42, 0))
+	}
+	if rng.SubSeed(42, 1) == 42 || rng.SubSeed(42, 1) == rng.SubSeed(42, 2) {
+		t.Fatal("sub-seeds are not distinct")
+	}
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{Duration: 200, Warmup: 20, Seed: 11, Windows: numeric.IntVector{3, 3}}
+	single, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplications(context.Background(), n, cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := b.Reps[0].Result
+	if r0.Throughput != single.Throughput || r0.Delay != single.Delay {
+		t.Fatalf("replication 0 (%v, %v) differs from single run (%v, %v)",
+			r0.Throughput, r0.Delay, single.Throughput, single.Delay)
+	}
+}
+
+// TestReplicationsCI: with more than one replication the aggregates carry
+// positive Student-t half-widths and per-class aggregates line up.
+func TestReplicationsCI(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{Duration: 300, Warmup: 30, Seed: 5, Windows: numeric.IntVector{4, 4}}
+	b, err := RunReplications(context.Background(), n, cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ThroughputCI95 <= 0 || b.DelayCI95 <= 0 || b.PowerCI95 <= 0 {
+		t.Fatalf("missing aggregate CIs: %+v", b)
+	}
+	if len(b.PerClass) != 2 {
+		t.Fatalf("%d per-class aggregates", len(b.PerClass))
+	}
+	for c := range b.PerClass {
+		if b.PerClass[c].Throughput <= 0 || b.PerClass[c].ThroughputCI95 <= 0 {
+			t.Fatalf("class %d: degenerate aggregate %+v", c, b.PerClass[c])
+		}
+	}
+}
+
+// TestReplicationsAllFailed: a batch whose every replication errors (here
+// an invalid config caught by Run's validation) returns a nil batch and
+// the first error.
+func TestReplicationsAllFailed(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{Duration: 100, Warmup: 10, Seed: 3, Windows: numeric.IntVector{0, 0}, GlobalPermits: -1}
+	b, err := RunReplications(context.Background(), n, cfg, 3, 2)
+	if err == nil {
+		t.Fatalf("all replications failed yet batch returned %+v", b)
+	}
+	if b != nil {
+		t.Fatalf("batch result %+v despite zero completions", b)
+	}
+}
+
+// TestReplicationPanicRecovery: a panic inside one replication is caught
+// and converted into that replication's recorded error. A nil network
+// makes the event machinery blow up deterministically.
+func TestReplicationPanicRecovery(t *testing.T) {
+	rr := runReplication(context.Background(), nil, Config{Duration: 100}, 2)
+	if rr.Err == nil {
+		t.Fatal("panicking replication reported no error")
+	}
+	if !strings.Contains(rr.Err.Error(), "panicked") {
+		t.Fatalf("error %v does not record the panic", rr.Err)
+	}
+	if rr.Rep != 2 || rr.Result != nil {
+		t.Fatalf("bad replication record: %+v", rr)
+	}
+}
+
+// TestReplicationsCancelled: a cancelled context returns the completed
+// prefix with a wrapped ctx error.
+func TestReplicationsCancelled(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{Duration: 100, Warmup: 10, Seed: 3, Windows: numeric.IntVector{3, 3}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := RunReplications(ctx, n, cfg, 4, 2)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Everything was cancelled before starting, so no completions and no
+	// partial batch.
+	if b != nil {
+		t.Fatalf("batch %+v from a pre-cancelled context", b)
+	}
+}
+
+func TestReplicationsRejectsZeroReps(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	if _, err := RunReplications(context.Background(), n, Config{Duration: 1}, 0, 1); err == nil {
+		t.Fatal("reps=0 accepted")
+	}
+}

@@ -22,6 +22,7 @@ const (
 	evBackground                  // next uncontrolled cross-traffic message on a channel
 	evPropArrive                  // an in-flight message reaches the next node
 	evBurstFlip                   // an on-off source toggles state
+	evFault                       // a scheduled fault transition fires (fault.go)
 )
 
 // eventQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FaultSpec injects deterministic failures into a simulation run — the
+// operating conditions Chapter 2 worries about but the product-form model
+// cannot represent. Faults are scheduled in simulated time from the spec
+// alone (no randomness), so a faulted run is exactly as reproducible as a
+// clean one.
+type FaultSpec struct {
+	// Outages are link-down windows: while an outage is active the
+	// channel starts no new transmission. A transmission already in
+	// progress when the outage begins finishes normally (the line card
+	// drains its frame); messages queued on the channel simply wait,
+	// which is what lets window flow control bound the damage upstream.
+	Outages []Outage
+	// Degradations are service-rate degradation windows: transmissions
+	// STARTED inside the window run at Factor times the nominal channel
+	// capacity. Like outages, a transmission in progress at the boundary
+	// keeps the rate it started with.
+	Degradations []Degradation
+}
+
+// Outage is one link-down window on one channel.
+type Outage struct {
+	// Channel indexes the network's channel list.
+	Channel int
+	// Start and End bound the window in simulated seconds, Start < End.
+	Start, End float64
+}
+
+// Degradation is one service-rate degradation window on one channel.
+type Degradation struct {
+	Channel    int
+	Start, End float64
+	// Factor scales the channel capacity inside the window, in (0, 1].
+	Factor float64
+}
+
+func checkWindow(what string, i, channel int, start, end float64, nCh int) error {
+	if channel < 0 || channel >= nCh {
+		return fmt.Errorf("sim: %s %d: channel %d out of range [0, %d)", what, i, channel, nCh)
+	}
+	if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0) {
+		return fmt.Errorf("sim: %s %d: non-finite window [%v, %v]", what, i, start, end)
+	}
+	if start < 0 || end <= start {
+		return fmt.Errorf("sim: %s %d: need 0 <= Start < End, got [%v, %v]", what, i, start, end)
+	}
+	return nil
+}
+
+// validate checks the spec against a network with nCh channels. Windows of
+// the same fault type must not overlap on the same channel: overlapping
+// outages would need reference counting, and overlapping degradations have
+// no well-defined factor — both are almost certainly spec bugs.
+func (f *FaultSpec) validate(nCh int) error {
+	type span struct {
+		channel    int
+		start, end float64
+	}
+	checkOverlap := func(what string, spans []span) error {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].channel != spans[j].channel {
+				return spans[i].channel < spans[j].channel
+			}
+			return spans[i].start < spans[j].start
+		})
+		for i := 1; i < len(spans); i++ {
+			a, b := spans[i-1], spans[i]
+			if a.channel == b.channel && b.start < a.end {
+				return fmt.Errorf("sim: overlapping %s windows on channel %d ([%v, %v] and [%v, %v])",
+					what, a.channel, a.start, a.end, b.start, b.end)
+			}
+		}
+		return nil
+	}
+	outs := make([]span, 0, len(f.Outages))
+	for i, o := range f.Outages {
+		if err := checkWindow("outage", i, o.Channel, o.Start, o.End, nCh); err != nil {
+			return err
+		}
+		outs = append(outs, span{o.Channel, o.Start, o.End})
+	}
+	if err := checkOverlap("outage", outs); err != nil {
+		return err
+	}
+	degs := make([]span, 0, len(f.Degradations))
+	for i, d := range f.Degradations {
+		if err := checkWindow("degradation", i, d.Channel, d.Start, d.End, nCh); err != nil {
+			return err
+		}
+		if math.IsNaN(d.Factor) || d.Factor <= 0 || d.Factor > 1 {
+			return fmt.Errorf("sim: degradation %d: Factor %v outside (0, 1]", i, d.Factor)
+		}
+		degs = append(degs, span{d.Channel, d.Start, d.End})
+	}
+	return checkOverlap("degradation", degs)
+}
+
+// faultOp is one scheduled fault state transition.
+type faultOp uint8
+
+const (
+	opLinkDown faultOp = iota
+	opLinkUp
+	opRateSet
+)
+
+type faultTransition struct {
+	at      float64
+	channel int
+	op      faultOp
+	scale   float64 // opRateSet only
+}
+
+// scheduleFaults books every fault transition as an evFault event. Called
+// once at run start; the event's channel field carries the index into
+// s.faults.
+func (s *state) scheduleFaults(f *FaultSpec) {
+	for _, o := range f.Outages {
+		s.faults = append(s.faults,
+			faultTransition{at: o.Start, channel: o.Channel, op: opLinkDown},
+			faultTransition{at: o.End, channel: o.Channel, op: opLinkUp})
+	}
+	for _, d := range f.Degradations {
+		s.faults = append(s.faults,
+			faultTransition{at: d.Start, channel: d.Channel, op: opRateSet, scale: d.Factor},
+			faultTransition{at: d.End, channel: d.Channel, op: opRateSet, scale: 1})
+	}
+	for i := range s.faults {
+		s.events.push(s.faults[i].at, evFault, -1, i)
+	}
+}
+
+// handleFault applies transition idx. Link-up restarts the channel if work
+// queued while it was down; rate changes take effect on the next service
+// start (the transmission in flight keeps its booked completion time).
+func (s *state) handleFault(idx int) {
+	f := &s.faults[idx]
+	switch f.op {
+	case opLinkDown:
+		s.chanDown[f.channel] = true
+	case opLinkUp:
+		s.chanDown[f.channel] = false
+		s.startNextIfAny(f.channel)
+	case opRateSet:
+		s.rateScale[f.channel] = f.scale
+	}
+}

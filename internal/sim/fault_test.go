@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+func faultBaseConfig() Config {
+	return Config{Duration: 1000, Warmup: 100, Seed: 9, Windows: numeric.IntVector{4, 4}}
+}
+
+// TestFaultOutageReducesThroughput: taking a loaded channel down for a
+// third of the run must cost deliveries, and the run must still terminate
+// cleanly (no deadlock report: queued messages resume on link-up).
+func TestFaultOutageReducesThroughput(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	clean, err := Run(n, faultBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Outages: []Outage{{Channel: 0, Start: 300, End: 600}}}
+	faulted, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Throughput >= clean.Throughput {
+		t.Fatalf("outage did not cost throughput: %v vs clean %v", faulted.Throughput, clean.Throughput)
+	}
+	if faulted.Deadlocked {
+		t.Fatal("outage run reported store-and-forward deadlock")
+	}
+	if faulted.Throughput <= 0 {
+		t.Fatal("outage killed the run entirely")
+	}
+}
+
+// TestFaultDegradationRaisesDelay: halving a channel's rate for a window
+// of the run must raise mean delay relative to the clean run.
+func TestFaultDegradationRaisesDelay(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	clean, err := Run(n, faultBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Degradations: []Degradation{{Channel: 0, Start: 200, End: 800, Factor: 0.5}}}
+	faulted, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Delay <= clean.Delay {
+		t.Fatalf("degradation did not raise delay: %v vs clean %v", faulted.Delay, clean.Delay)
+	}
+}
+
+// TestFaultDeterministic: faults are scheduled, not sampled — the same
+// spec and seed reproduce the same measurements exactly.
+func TestFaultDeterministic(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{
+		Outages:      []Outage{{Channel: 1, Start: 300, End: 450}},
+		Degradations: []Degradation{{Channel: 0, Start: 500, End: 700, Factor: 0.25}},
+	}
+	a, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Delay != b.Delay || a.Power != b.Power {
+		t.Fatalf("faulted runs diverged: (%v, %v) vs (%v, %v)", a.Throughput, a.Delay, b.Throughput, b.Delay)
+	}
+}
+
+// TestFaultSanityInvariants: the fault paths must not corrupt the node
+// occupancy accounting the debug hooks check.
+func TestFaultSanityInvariants(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := faultBaseConfig()
+	cfg.Duration = 400
+	cfg.Faults = &FaultSpec{
+		Outages:      []Outage{{Channel: 0, Start: 50, End: 150}, {Channel: 1, Start: 100, End: 200}},
+		Degradations: []Degradation{{Channel: 0, Start: 200, End: 300, Factor: 0.1}},
+	}
+	windows := cfg.Windows
+	s, err := newState(n, cfg, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.sanity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultSpecValidation rejects malformed specs before any event runs.
+func TestFaultSpecValidation(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cases := []struct {
+		name string
+		spec *FaultSpec
+		want string
+	}{
+		{"channel out of range", &FaultSpec{Outages: []Outage{{Channel: 99, Start: 1, End: 2}}}, "out of range"},
+		{"inverted window", &FaultSpec{Outages: []Outage{{Channel: 0, Start: 5, End: 5}}}, "Start < End"},
+		{"negative start", &FaultSpec{Outages: []Outage{{Channel: 0, Start: -1, End: 2}}}, "Start < End"},
+		{"overlapping outages", &FaultSpec{Outages: []Outage{
+			{Channel: 0, Start: 1, End: 10}, {Channel: 0, Start: 5, End: 15},
+		}}, "overlapping"},
+		{"bad factor", &FaultSpec{Degradations: []Degradation{{Channel: 0, Start: 1, End: 2, Factor: 0}}}, "Factor"},
+		{"factor above one", &FaultSpec{Degradations: []Degradation{{Channel: 0, Start: 1, End: 2, Factor: 1.5}}}, "Factor"},
+		{"overlapping degradations", &FaultSpec{Degradations: []Degradation{
+			{Channel: 1, Start: 0, End: 8, Factor: 0.5}, {Channel: 1, Start: 7, End: 9, Factor: 0.5},
+		}}, "overlapping"},
+	}
+	for _, tc := range cases {
+		cfg := faultBaseConfig()
+		cfg.Faults = tc.spec
+		_, err := Run(n, cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Adjacent (non-overlapping) windows and outage+degradation overlap on
+	// the same channel are legal.
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{
+		Outages:      []Outage{{Channel: 0, Start: 1, End: 5}, {Channel: 0, Start: 5, End: 9}},
+		Degradations: []Degradation{{Channel: 0, Start: 2, End: 8, Factor: 0.5}},
+	}
+	if _, err := Run(n, cfg); err != nil {
+		t.Fatalf("legal spec rejected: %v", err)
+	}
+}

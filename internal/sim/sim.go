@@ -106,6 +106,10 @@ type Config struct {
 	// BurstOn is the mean on-period in seconds when Burstiness > 1
 	// (default 1).
 	BurstOn float64
+	// Faults, when non-nil, injects link outages and service-rate
+	// degradations at scheduled simulated times (see FaultSpec). Faults
+	// are deterministic: the same spec and seed reproduce the same run.
+	Faults *FaultSpec
 }
 
 // ClassStats reports one class's measurements.
@@ -222,6 +226,11 @@ func Run(n *netmodel.Network, cfg Config) (*Result, error) {
 	}
 	if cfg.Burstiness > 1 && cfg.BurstOn == 0 {
 		cfg.BurstOn = 1
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(len(n.Channels)); err != nil {
+			return nil, err
+		}
 	}
 	s, err := newState(n, cfg, windows)
 	if err != nil {

@@ -95,6 +95,13 @@ type state struct {
 
 	serviceStreams []*rng.Stream // per channel
 
+	// Fault injection (fault.go): chanDown[l] stops channel l from
+	// starting new transmissions; rateScale[l] multiplies its capacity
+	// for transmissions started now; faults is the transition schedule.
+	chanDown  []bool
+	rateScale []float64
+	faults    []faultTransition
+
 	stats *collector
 }
 
@@ -110,6 +117,11 @@ func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*stat
 		nodeLimit: make([]int, len(n.Nodes)),
 		blockedOn: make([][]int, len(n.Nodes)),
 		permits:   -1,
+		chanDown:  make([]bool, len(n.Channels)),
+		rateScale: make([]float64, len(n.Channels)),
+	}
+	for l := range s.rateScale {
+		s.rateScale[l] = 1
 	}
 	if cfg.GlobalPermits > 0 {
 		s.permits = cfg.GlobalPermits
@@ -179,6 +191,9 @@ func (s *state) run() (*Result, error) {
 			s.events.push(s.clock+s.bgStreams[l].Exp(s.bgRate[l]), evBackground, -1, l)
 		}
 	}
+	if s.cfg.Faults != nil {
+		s.scheduleFaults(s.cfg.Faults)
+	}
 	warmupDone := false
 	for !s.events.empty() {
 		e := s.events.pop()
@@ -203,6 +218,8 @@ func (s *state) run() (*Result, error) {
 			s.handlePropArrive(e.msg)
 		case evBurstFlip:
 			s.handleBurstFlip(e.class)
+		case evFault:
+			s.handleFault(e.channel)
 		}
 	}
 	if !warmupDone {
@@ -346,7 +363,7 @@ func (s *state) admit(r int) {
 func (s *state) enqueue(m *message, l int) {
 	ch := &s.channels[l]
 	ch.queue = append(ch.queue, m)
-	if !ch.busy && ch.blockedMsg == nil {
+	if !ch.busy && ch.blockedMsg == nil && !s.chanDown[l] {
 		s.startService(l)
 	}
 }
@@ -365,7 +382,7 @@ func (s *state) startService(l int) {
 		bits = s.sampleLength(s.serviceStreams[l], s.net.Classes[m.class].MeanLength)
 	}
 	ch.busy = true
-	s.events.push(s.clock+bits/s.net.Channels[l].Capacity, evCompletion, -1, l)
+	s.events.push(s.clock+bits/(s.net.Channels[l].Capacity*s.rateScale[l]), evCompletion, -1, l)
 }
 
 // handleBackground injects one uncontrolled cross-traffic message on
@@ -449,10 +466,10 @@ func (s *state) popHead(l int) {
 }
 
 // startNextIfAny restarts channel l if messages wait and it is not
-// stalled on a blocked message.
+// stalled on a blocked message or a link outage.
 func (s *state) startNextIfAny(l int) {
 	ch := &s.channels[l]
-	if ch.blockedMsg == nil && !ch.busy && len(ch.queue) > 0 {
+	if ch.blockedMsg == nil && !ch.busy && !s.chanDown[l] && len(ch.queue) > 0 {
 		s.startService(l)
 	}
 }
