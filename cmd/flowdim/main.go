@@ -46,6 +46,8 @@ func run(args []string) error {
 	duration := fs.Float64("duration", 2000, "simulated seconds per evaluation")
 	warmup := fs.Float64("warmup", 200, "warmup seconds")
 	seed := fs.Uint64("seed", 1, "random seed")
+	reps := fs.Int("reps", 1, "independent replications per simulation")
+	workers := fs.Int("workers", 0, "goroutines for replications (0 = one per replication)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,10 +64,11 @@ func run(args []string) error {
 		return err
 	}
 	simCfg := sim.Config{Duration: *duration, Warmup: *warmup, Seed: *seed, Windows: wv}
+	ext := core.ExtOptions{Reps: *reps, Workers: *workers}
 
 	switch *mode {
 	case "buffers":
-		sizes, err := core.SizeBuffers(n, wv, *eps, simCfg)
+		sizes, err := core.SizeBuffers(n, wv, *eps, simCfg, ext)
 		if err != nil {
 			return err
 		}
@@ -79,12 +82,12 @@ func run(args []string) error {
 		_, err = t.WriteTo(os.Stdout)
 		return err
 	case "isarithmic":
-		res, err := core.DimensionIsarithmic(n, simCfg, *maxPermits)
+		res, err := core.DimensionIsarithmic(n, simCfg, *maxPermits, ext)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("optimal permit pool: %d (simulated power %s, %d simulation runs)\n",
-			res.Permits, report.Float(res.Power, 1), res.Evaluations)
+		fmt.Printf("optimal permit pool: %d (simulated power %s ± %s over %d replications, %d candidates)\n",
+			res.Permits, report.Float(res.Power, 1), report.Float(res.PowerCI95, 1), res.Reps, res.Evaluations)
 		return nil
 	case "quantiles":
 		q, err := core.ChannelQueueQuantiles(n, wv, *eps)

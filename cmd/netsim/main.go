@@ -5,6 +5,11 @@
 //	netsim -example canada2 -windows 4,4 -duration 5000 -warmup 500
 //	netsim -spec net.json -windows 0,0 -buffers 4 -source backlogged
 //	netsim -example canada4 -windows 1,1,1,4 -permits 10
+//	netsim -example canada2 -windows 4,4 -faults faults.json
+//
+// A -faults file injects deterministic off-nominal windows (channel
+// outages, service-rate degradations, per-class traffic surges) into
+// every replication; see examples/faults.json for the format.
 package main
 
 import (
@@ -43,6 +48,7 @@ func run(args []string) error {
 	lengthCV := fs.Float64("length-cv", 0, "message-length coefficient of variation (0 = exponential)")
 	burstiness := fs.Float64("burstiness", 0, "on-off source peak factor B (0 = Poisson)")
 	burstOn := fs.Float64("burst-on", 0, "mean on-period seconds when bursty (default 1)")
+	faults := fs.String("faults", "", "JSON fault spec file: outage/degradation/surge windows by channel and class name")
 	reps := fs.Int("reps", 1, "independent replications (each with a derived sub-seed); >1 reports replication means with 95% CIs")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole batch, e.g. 30s (0 = none); on expiry the completed replications are reported")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +87,17 @@ func run(args []string) error {
 		cfg.Source = sim.SourceBacklogged
 	default:
 		return fmt.Errorf("unknown source model %q", *source)
+	}
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			return err
+		}
+		f, err := sim.ParseFaultSpec(data, n)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = f
 	}
 	if *buffers > 0 {
 		cfg.NodeBuffers = make([]int, len(n.Nodes))

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
 
 func TestRunBasic(t *testing.T) {
 	if err := run([]string{"-example", "canada2", "-windows", "4,4",
@@ -15,6 +23,58 @@ func TestRunWithControls(t *testing.T) {
 		"-source", "backlogged", "-buffers", "4", "-permits", "6",
 		"-correlated-lengths"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	if err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "3000", "-warmup", "300",
+		"-faults", "../../examples/faults.json"}); err != nil {
+		t.Fatal(err)
+	}
+	// Replicated faulted runs work too.
+	if err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "500", "-warmup", "50", "-reps", "3",
+		"-faults", "../../examples/faults.json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFaultsRejectedVerbatim: an invalid fault file is refused with
+// the exact error the spec's own validation produces.
+func TestRunFaultsRejectedVerbatim(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"surges": [
+		{"class": "class1", "start_sec": 1, "end_sec": 10, "factor": 2},
+		{"class": "class1", "start_sec": 5, "end_sec": 15, "factor": 3}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "100", "-warmup", "10", "-faults", bad})
+	if err == nil {
+		t.Fatal("invalid fault file accepted")
+	}
+	want := (&sim.FaultSpec{Surges: []sim.Surge{
+		{Class: 0, Start: 1, End: 10, Factor: 2},
+		{Class: 0, Start: 5, End: 15, Factor: 3},
+	}}).Validate(topo.Canada2Class(20, 20))
+	if want == nil || err.Error() != want.Error() {
+		t.Errorf("error %q, want the validate error %q verbatim", err, want)
+	}
+
+	if err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-faults", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing fault file accepted")
+	}
+	unknown := filepath.Join(dir, "unknown.json")
+	if err := os.WriteFile(unknown, []byte(`{"outages": [{"channel": "nosuch", "start_sec": 1, "end_sec": 2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-example", "canada2", "-windows", "4,4", "-faults", unknown})
+	if err == nil || !strings.Contains(err.Error(), `unknown channel "nosuch"`) {
+		t.Errorf("unknown-channel error: %v", err)
 	}
 }
 

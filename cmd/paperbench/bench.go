@@ -31,6 +31,19 @@ type benchFile struct {
 	Results []BenchResult `json:"results"`
 }
 
+// robustBenchScenarios is the fixed three-scenario set behind the
+// DimensionRobust benchmark entry: nominal, a degraded shared trunk, and
+// a surged short class.
+func robustBenchScenarios() []core.Scenario {
+	capScale := []float64{1, 1, 1, 1, 1, 1, 1}
+	capScale[topo.ChWT] = 0.6
+	return []core.Scenario{
+		{Name: "nominal", Weight: 0.6},
+		{Name: "trunk-degraded", CapacityScale: capScale, Weight: 0.2},
+		{Name: "class4-surge", RateScale: []float64{1, 1, 1, 2}, Weight: 0.2},
+	}
+}
+
 // runJSONBench times the representative WINDIM workloads and writes the
 // results as JSON to path ("-" for stdout).
 func runJSONBench(path string, opts core.Options) error {
@@ -106,6 +119,16 @@ func runJSONBench(path string, opts core.Options) error {
 			return evals(core.Dimension(canada4, parallel))
 		}, func() error {
 			_, err := core.Dimension(canada4, parallel)
+			return err
+		}},
+		{"robust_dimension", func() (int, error) {
+			res, err := core.DimensionRobust(canada4, robustBenchScenarios(), core.RobustMinimax, serial)
+			if err != nil {
+				return 0, err
+			}
+			return res.Search.Evaluations, nil
+		}, func() error {
+			_, err := core.DimensionRobust(canada4, robustBenchScenarios(), core.RobustMinimax, serial)
 			return err
 		}},
 	}

@@ -38,6 +38,7 @@ func run(args []string) error {
 	ablation := fs.Bool("ablation", false, "WINDIM design ablation table")
 	scaling := fs.Bool("scaling", false, "larger-network (10-node ARPANET mesh) study")
 	robustness := fs.Bool("robustness", false, "assumption-breaking robustness study (simulated)")
+	robustdim := fs.Bool("robustdim", false, "nominal vs minimax-robust window dimensioning over a scenario set")
 	sensitivity := fs.Bool("sensitivity", false, "static-vs-retuned window sensitivity study")
 	all := fs.Bool("all", false, "run everything")
 	evaluator := fs.String("evaluator", "sigma", "candidate evaluator for the tables: sigma, schweitzer, exact")
@@ -155,6 +156,15 @@ func run(args []string) error {
 			return err
 		}
 		return experiments.RenderRobustness(os.Stdout, rows)
+	}); err != nil {
+		return err
+	}
+	if err := runIf(*all || *robustdim, func() error {
+		res, err := experiments.RobustDimensioning(3, 3)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderRobustDimensioning(os.Stdout, res)
 	}); err != nil {
 		return err
 	}

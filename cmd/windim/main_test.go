@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunHappyPath(t *testing.T) {
 	if err := run([]string{"-example", "canada2", "-rates", "20,20"}); err != nil {
@@ -31,6 +35,35 @@ func TestRunSweep(t *testing.T) {
 	}
 	if err := run([]string{"-example", "canada2", "-sweep", "-1"}); err == nil {
 		t.Error("expected positive-scale error")
+	}
+}
+
+func TestRunRobustScenarios(t *testing.T) {
+	for _, kind := range []string{"minmax", "weighted"} {
+		if err := run([]string{"-example", "canada4", "-scenarios", "../../examples/scenarios.json",
+			"-robust", kind}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunRobustErrors(t *testing.T) {
+	dir := t.TempDir()
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte(`{"scenarios": [{"capacity_scale": {"nosuch": 0.5}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-example", "canada4", "-scenarios", "../../examples/scenarios.json", "-robust", "psychic"},
+		{"-example", "canada4", "-scenarios", filepath.Join(dir, "missing.json")},
+		{"-example", "canada4", "-scenarios", badJSON},
+		// canada2 lacks class4, so the canada4 scenario file must be rejected.
+		{"-example", "canada2", "-scenarios", "../../examples/scenarios.json"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
 	}
 }
 

@@ -49,7 +49,7 @@ func main() {
 	for _, eps := range []float64{1e-2, 1e-4} {
 		sizes, err := core.SizeBuffers(network, res.Windows, eps, sim.Config{
 			Duration: 4000, Warmup: 400, Seed: 4,
-		})
+		}, core.ExtOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,7 +7,8 @@ package core
 //
 //   - DimensionIsarithmic searches the global permit pool size for
 //     maximum simulated power (no product-form model exists for
-//     isarithmic control, so the evaluator is the simulator);
+//     isarithmic control, so the evaluator is the simulator, batched
+//     over independent replications via sim.RunReplications);
 //   - SizeBuffers derives per-node storage limits K_i from simulated
 //     occupancy distributions;
 //   - ChannelQueueQuantiles derives per-channel queue-length quantiles
@@ -15,6 +16,7 @@ package core
 //     algorithm), the analytic counterpart for the windowed network.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/convolution"
@@ -24,13 +26,57 @@ import (
 	"repro/internal/sim"
 )
 
+// ExtOptions configures the simulation-backed dimensioning extensions:
+// every candidate (or measurement) runs Reps independent replications
+// via sim.RunReplications across Workers goroutines, so the searches get
+// replication-mean objectives with confidence intervals and multi-core
+// speedup while staying deterministic at any worker count. The zero
+// value reproduces the old single-run behaviour.
+type ExtOptions struct {
+	// Reps is the number of independent replications per simulation
+	// (per-replication seeds derived with rng.SubSeed); <= 0 means 1.
+	Reps int
+	// Workers bounds the goroutines running replications; <= 0 means
+	// Reps (fully parallel).
+	Workers int
+	// Context, when non-nil, cancels the run: between candidate
+	// evaluations the pattern search returns best-so-far with a wrapped
+	// context error, and a cancellation mid-batch aborts with the batch
+	// error.
+	Context context.Context
+}
+
+func (e ExtOptions) withDefaults() ExtOptions {
+	if e.Reps <= 0 {
+		e.Reps = 1
+	}
+	if e.Workers <= 0 {
+		e.Workers = e.Reps
+	}
+	return e
+}
+
+// runBatch is the shared simulation body of the extensions: Reps
+// replications of cfg, failures tolerated as long as at least one
+// replication completes.
+func (e ExtOptions) runBatch(n *netmodel.Network, cfg sim.Config) (*sim.BatchResult, error) {
+	return sim.RunReplications(e.Context, n, cfg, e.Reps, e.Workers)
+}
+
 // IsarithmicResult reports a permit-pool dimensioning run.
 type IsarithmicResult struct {
 	// Permits is the power-optimal pool size.
 	Permits int
-	// Power is the simulated power at Permits.
-	Power float64
-	// Evaluations counts simulation runs.
+	// Power is the simulated power at Permits (mean over replications),
+	// with PowerCI95 the Student-t 95% half-width (0 for single
+	// replications).
+	Power     float64
+	PowerCI95 float64
+	// Reps is the number of completed replications behind each
+	// candidate's power.
+	Reps int
+	// Evaluations counts candidate pool sizes simulated (each costing
+	// Reps replications).
 	Evaluations int
 }
 
@@ -38,20 +84,23 @@ type IsarithmicResult struct {
 // maximises simulated network power, holding the per-class windows of
 // simCfg fixed (set them to 0 to study pure isarithmic control). The
 // search is a 1-D pattern search over [1, maxPermits] with a common
-// random seed across candidates. simCfg.Duration must be set; short
-// durations trade accuracy for speed.
-func DimensionIsarithmic(n *netmodel.Network, simCfg sim.Config, maxPermits int) (*IsarithmicResult, error) {
+// random seed across candidates; each candidate's power is the mean of
+// ext.Reps independent replications (common sub-seeds across candidates,
+// so the comparison variance cancels). simCfg.Duration must be set;
+// short durations and few replications trade accuracy for speed.
+func DimensionIsarithmic(n *netmodel.Network, simCfg sim.Config, maxPermits int, ext ExtOptions) (*IsarithmicResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	if maxPermits < 1 {
 		return nil, fmt.Errorf("core: maxPermits must be >= 1, got %d", maxPermits)
 	}
+	ext = ext.withDefaults()
 	res := &IsarithmicResult{}
 	objective := func(x numeric.IntVector) (float64, error) {
 		cfg := simCfg
 		cfg.GlobalPermits = x[0]
-		out, err := sim.Run(n, cfg)
+		out, err := ext.runBatch(n, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -72,12 +121,23 @@ func DimensionIsarithmic(n *netmodel.Network, simCfg sim.Config, maxPermits int)
 		InitialStep: numeric.IntVector{2},
 		Hi:          numeric.IntVector{maxPermits},
 		MaxHalvings: 2,
+		Context:     ext.Context,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Permits = sres.Best[0]
 	res.Power = 1 / sres.BestValue
+	// One final batch at the optimum for the confidence interval and the
+	// completed-replication count (the search tracks only means).
+	cfg := simCfg
+	cfg.GlobalPermits = res.Permits
+	final, err := ext.runBatch(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.PowerCI95 = final.PowerCI95
+	res.Reps = final.Completed
 	return res, nil
 }
 
@@ -98,22 +158,57 @@ func DimensionIsarithmic(n *netmodel.Network, simCfg sim.Config, maxPermits int)
 //     examples/arpa);
 //   - nodes that never store messages (pure sinks) size to 0, which
 //     sim.Config interprets as "unlimited" — equivalent for such nodes.
-func SizeBuffers(n *netmodel.Network, windows numeric.IntVector, eps float64, simCfg sim.Config) ([]int, error) {
+//
+// With ext.Reps > 1 the occupancy distributions are averaged over the
+// completed replications before the quantile is taken, so rare tail
+// states are estimated from Reps times the sample mass of a single run.
+func SizeBuffers(n *netmodel.Network, windows numeric.IntVector, eps float64, simCfg sim.Config, ext ExtOptions) ([]int, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("core: eps must be in (0, 1), got %v", eps)
 	}
+	ext = ext.withDefaults()
 	cfg := simCfg
 	cfg.Windows = windows
 	cfg.NodeBuffers = nil // measure the unconstrained occupancy
-	out, err := sim.Run(n, cfg)
+	batch, err := ext.runBatch(n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	sizes := make([]int, len(out.NodeOccupancy))
-	for i, hist := range out.NodeOccupancy {
+	hists := averageOccupancy(batch, len(n.Nodes))
+	sizes := make([]int, len(hists))
+	for i, hist := range hists {
 		sizes[i] = quantileFromHistogram(hist, eps)
 	}
 	return sizes, nil
+}
+
+// averageOccupancy averages the per-node occupancy histograms over the
+// batch's completed replications (histograms may differ in length across
+// replications; shorter ones contribute zero tail mass).
+func averageOccupancy(batch *sim.BatchResult, nNodes int) [][]float64 {
+	hists := make([][]float64, nNodes)
+	for _, rep := range batch.Reps {
+		if rep.Err != nil {
+			continue
+		}
+		for i, h := range rep.Result.NodeOccupancy {
+			if len(h) > len(hists[i]) {
+				grown := make([]float64, len(h))
+				copy(grown, hists[i])
+				hists[i] = grown
+			}
+			for k, p := range h {
+				hists[i][k] += p
+			}
+		}
+	}
+	inv := 1 / float64(batch.Completed)
+	for i := range hists {
+		for k := range hists[i] {
+			hists[i][k] *= inv
+		}
+	}
+	return hists
 }
 
 // quantileFromHistogram returns the smallest k with

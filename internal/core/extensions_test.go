@@ -13,7 +13,7 @@ func TestDimensionIsarithmic(t *testing.T) {
 	n := topo.Canada2Class(40, 40)
 	res, err := DimensionIsarithmic(n, sim.Config{
 		Duration: 600, Warmup: 60, Seed: 9,
-	}, 30)
+	}, 30, ExtOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,18 +43,70 @@ func TestDimensionIsarithmic(t *testing.T) {
 	}
 }
 
+// TestDimensionIsarithmicReplications: with Reps > 1 the search runs on
+// replication means, surfaces the completed-replication count and a CI,
+// and is deterministic at any worker count.
+func TestDimensionIsarithmicReplications(t *testing.T) {
+	n := topo.Canada2Class(40, 40)
+	cfg := sim.Config{Duration: 300, Warmup: 30, Seed: 9}
+	serial, err := DimensionIsarithmic(n, cfg, 30, ExtOptions{Reps: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := DimensionIsarithmic(n, cfg, 30, ExtOptions{Reps: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Reps != 3 || parallel.Reps != 3 {
+		t.Errorf("replication counts %d / %d, want 3", serial.Reps, parallel.Reps)
+	}
+	if serial.PowerCI95 <= 0 {
+		t.Errorf("missing replication CI: %v", serial.PowerCI95)
+	}
+	if serial.Permits != parallel.Permits || serial.Power != parallel.Power || serial.PowerCI95 != parallel.PowerCI95 {
+		t.Errorf("worker count changed the result: (%d, %v, %v) vs (%d, %v, %v)",
+			serial.Permits, serial.Power, serial.PowerCI95,
+			parallel.Permits, parallel.Power, parallel.PowerCI95)
+	}
+}
+
+// TestSizeBuffersReplications: batched sizing is worker-count independent
+// and never shrinks a limit below the single-run estimate by more than
+// the histogram tail the extra replications resolve.
+func TestSizeBuffersReplications(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := sim.Config{Duration: 1000, Warmup: 100, Seed: 4}
+	w := numeric.IntVector{4, 4}
+	serial, err := SizeBuffers(n, w, 0.01, cfg, ExtOptions{Reps: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SizeBuffers(n, w, 0.01, cfg, ExtOptions{Reps: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("worker count changed sizes: %v vs %v", serial, parallel)
+		}
+		if serial[i] < 0 || serial[i] > 8 {
+			t.Errorf("node %d sized %d; window cap is 8", i, serial[i])
+		}
+	}
+}
+
 func TestDimensionIsarithmicErrors(t *testing.T) {
 	n := topo.Canada2Class(20, 20)
-	if _, err := DimensionIsarithmic(n, sim.Config{Duration: 10}, 0); err == nil {
+	if _, err := DimensionIsarithmic(n, sim.Config{Duration: 10}, 0, ExtOptions{}); err == nil {
 		t.Error("expected maxPermits error")
 	}
 	bad := topo.Canada2Class(20, 20)
 	bad.Channels[0].Capacity = -1
-	if _, err := DimensionIsarithmic(bad, sim.Config{Duration: 10}, 5); err == nil {
+	if _, err := DimensionIsarithmic(bad, sim.Config{Duration: 10}, 5, ExtOptions{}); err == nil {
 		t.Error("expected validation error")
 	}
 	// Broken sim config surfaces as an error from the objective.
-	if _, err := DimensionIsarithmic(n, sim.Config{}, 5); err == nil {
+	if _, err := DimensionIsarithmic(n, sim.Config{}, 5, ExtOptions{}); err == nil {
 		t.Error("expected sim config error")
 	}
 }
@@ -63,7 +115,7 @@ func TestSizeBuffers(t *testing.T) {
 	n := topo.Canada2Class(20, 20)
 	sizes, err := SizeBuffers(n, numeric.IntVector{4, 4}, 0.01, sim.Config{
 		Duration: 2000, Warmup: 200, Seed: 4,
-	})
+	}, ExtOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +144,7 @@ func TestSizeBuffers(t *testing.T) {
 	if limited.Throughput < 0.97*free.Throughput {
 		t.Errorf("sized buffers lose throughput: %v vs %v", limited.Throughput, free.Throughput)
 	}
-	if _, err := SizeBuffers(n, nil, 0, sim.Config{Duration: 10}); err == nil {
+	if _, err := SizeBuffers(n, nil, 0, sim.Config{Duration: 10}, ExtOptions{}); err == nil {
 		t.Error("expected eps error")
 	}
 }

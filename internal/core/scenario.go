@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Scenario is one analytic operating-condition perturbation: a named
+// steady-state shadow of a sim.FaultSpec. Where a FaultSpec degrades a
+// channel or surges a class over a time window of one simulation run, a
+// Scenario applies the same factors for the whole steady state, which is
+// exactly what the product-form evaluators can price. DimensionRobust
+// optimises window vectors against a set of Scenarios; the corresponding
+// FaultSpec (see FaultSpec) lets the simulator check the choice under the
+// genuinely time-varying version of the same conditions.
+type Scenario struct {
+	Name string
+	// CapacityScale[l] multiplies channel l's capacity, in (0, 1] — the
+	// steady-state counterpart of a sim.Degradation. Nil means all ones.
+	CapacityScale []float64
+	// RateScale[r] multiplies class r's exogenous arrival rate; any
+	// positive finite value (> 1 surge, < 1 lull) — the steady-state
+	// counterpart of a sim.Surge. Nil means all ones.
+	RateScale []float64
+	// Weight is the scenario's probability weight under RobustWeighted;
+	// <= 0 means 1. Weights are normalised over the scenario set, so only
+	// ratios matter. RobustMinimax ignores weights.
+	Weight float64
+}
+
+// validate checks the scenario against the network it perturbs.
+func (sc *Scenario) validate(n *netmodel.Network) error {
+	if sc.CapacityScale != nil && len(sc.CapacityScale) != len(n.Channels) {
+		return fmt.Errorf("core: scenario %q: %d capacity scales for %d channels",
+			sc.Name, len(sc.CapacityScale), len(n.Channels))
+	}
+	for l, f := range sc.CapacityScale {
+		if math.IsNaN(f) || f <= 0 || f > 1 {
+			return fmt.Errorf("core: scenario %q: capacity scale %v on channel %d outside (0, 1]", sc.Name, f, l)
+		}
+	}
+	if sc.RateScale != nil && len(sc.RateScale) != len(n.Classes) {
+		return fmt.Errorf("core: scenario %q: %d rate scales for %d classes",
+			sc.Name, len(sc.RateScale), len(n.Classes))
+	}
+	for r, f := range sc.RateScale {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return fmt.Errorf("core: scenario %q: rate scale %v on class %d; need a positive finite value", sc.Name, f, r)
+		}
+	}
+	if math.IsNaN(sc.Weight) || math.IsInf(sc.Weight, 0) || sc.Weight < 0 {
+		return fmt.Errorf("core: scenario %q: weight %v; need a non-negative finite value", sc.Name, sc.Weight)
+	}
+	return nil
+}
+
+// Apply returns a copy of the network with the scenario's capacity and
+// rate scales folded in — the model DimensionRobust evaluates candidates
+// against for this scenario. The copy shares route slices with the
+// original (they are read-only throughout the repository).
+func (sc *Scenario) Apply(n *netmodel.Network) (*netmodel.Network, error) {
+	if err := sc.validate(n); err != nil {
+		return nil, err
+	}
+	p := &netmodel.Network{
+		Name:     n.Name + "/" + sc.Name,
+		Nodes:    append([]netmodel.Node(nil), n.Nodes...),
+		Channels: append([]netmodel.Channel(nil), n.Channels...),
+		Classes:  append([]netmodel.Class(nil), n.Classes...),
+	}
+	for l := range sc.CapacityScale {
+		p.Channels[l].Capacity *= sc.CapacityScale[l]
+	}
+	for r := range sc.RateScale {
+		p.Classes[r].Rate *= sc.RateScale[r]
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: scenario %q perturbs the network invalid: %w", sc.Name, err)
+	}
+	return p, nil
+}
+
+// FaultSpec returns the time-varying mirror of the scenario: one
+// degradation window per scaled channel and one surge window per scaled
+// class, all spanning [start, end) of a simulation run. Simulating the
+// nominal network under this spec realises the scenario's conditions for
+// that window — the check experiments.RobustDimensioning runs on the
+// windows the analytic scenarios picked.
+func (sc *Scenario) FaultSpec(n *netmodel.Network, start, end float64) (*sim.FaultSpec, error) {
+	if err := sc.validate(n); err != nil {
+		return nil, err
+	}
+	if start < 0 || end <= start {
+		return nil, fmt.Errorf("core: scenario %q: fault window [%v, %v); need 0 <= start < end", sc.Name, start, end)
+	}
+	f := &sim.FaultSpec{}
+	for l, factor := range sc.CapacityScale {
+		if factor == 1 {
+			continue
+		}
+		f.Degradations = append(f.Degradations, sim.Degradation{Channel: l, Start: start, End: end, Factor: factor})
+	}
+	for r, factor := range sc.RateScale {
+		if factor == 1 {
+			continue
+		}
+		f.Surges = append(f.Surges, sim.Surge{Class: r, Start: start, End: end, Factor: factor})
+	}
+	return f, nil
+}
+
+// ScenarioSetSpec is the JSON wire form of a scenario set, with channels
+// and classes referenced by name (the cmd/windim -scenarios input
+// format). Factors absent from the maps default to 1.
+type ScenarioSetSpec struct {
+	Scenarios []ScenarioSpec `json:"scenarios"`
+}
+
+// ScenarioSpec is one scenario in a ScenarioSetSpec.
+type ScenarioSpec struct {
+	Name          string             `json:"name"`
+	CapacityScale map[string]float64 `json:"capacity_scale,omitempty"`
+	RateScale     map[string]float64 `json:"rate_scale,omitempty"`
+	Weight        float64            `json:"weight,omitempty"`
+}
+
+// ParseScenarios decodes a JSON scenario set and resolves its channel and
+// class names against the network, validating every scenario.
+func ParseScenarios(data []byte, n *netmodel.Network) ([]Scenario, error) {
+	var set ScenarioSetSpec
+	if err := json.Unmarshal(data, &set); err != nil {
+		return nil, fmt.Errorf("core: parsing scenario set: %w", err)
+	}
+	if len(set.Scenarios) == 0 {
+		return nil, fmt.Errorf("core: scenario set is empty")
+	}
+	chanIdx := make(map[string]int, len(n.Channels))
+	for l := range n.Channels {
+		chanIdx[n.Channels[l].Name] = l
+	}
+	classIdx := make(map[string]int, len(n.Classes))
+	for r := range n.Classes {
+		classIdx[n.Classes[r].Name] = r
+	}
+	scenarios := make([]Scenario, 0, len(set.Scenarios))
+	for i, ss := range set.Scenarios {
+		sc := Scenario{Name: ss.Name, Weight: ss.Weight}
+		if sc.Name == "" {
+			sc.Name = fmt.Sprintf("scenario-%d", i)
+		}
+		if len(ss.CapacityScale) > 0 {
+			sc.CapacityScale = ones(len(n.Channels))
+			for name, f := range ss.CapacityScale {
+				l, ok := chanIdx[name]
+				if !ok {
+					return nil, fmt.Errorf("core: scenario %q scales unknown channel %q", sc.Name, name)
+				}
+				sc.CapacityScale[l] = f
+			}
+		}
+		if len(ss.RateScale) > 0 {
+			sc.RateScale = ones(len(n.Classes))
+			for name, f := range ss.RateScale {
+				r, ok := classIdx[name]
+				if !ok {
+					return nil, fmt.Errorf("core: scenario %q scales unknown class %q", sc.Name, name)
+				}
+				sc.RateScale[r] = f
+			}
+		}
+		if err := sc.validate(n); err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, sc)
+	}
+	return scenarios, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustDimensioning(t *testing.T) {
+	res, err := RobustDimensioning(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d scenarios", len(res.Rows))
+	}
+	// The acceptance inequality: seeded from the nominal optimum, the
+	// minimax windows protect the worst scenario at least as well.
+	if res.RobustWorst < res.NominalWorst {
+		t.Errorf("robust worst power %v below nominal-optimal's worst %v",
+			res.RobustWorst, res.NominalWorst)
+	}
+	if res.NominalWindows == nil || res.RobustWindows == nil {
+		t.Fatalf("missing window vectors: %v / %v", res.NominalWindows, res.RobustWindows)
+	}
+	if res.WorstScenario == "" {
+		t.Error("worst scenario unnamed")
+	}
+	for _, r := range res.Rows {
+		if r.AnalyticNominal <= 0 || r.AnalyticRobust <= 0 {
+			t.Errorf("%s: degenerate analytic powers %v / %v", r.Scenario, r.AnalyticNominal, r.AnalyticRobust)
+		}
+		if r.SimNominal <= 0 || r.SimRobust <= 0 {
+			t.Errorf("%s: degenerate simulated powers %v / %v", r.Scenario, r.SimNominal, r.SimRobust)
+		}
+		if r.Reps != 2 {
+			t.Errorf("%s: %d replications, want 2", r.Scenario, r.Reps)
+		}
+		if r.SimNominalCI95 <= 0 || r.SimRobustCI95 <= 0 {
+			t.Errorf("%s: missing replication CIs (%v / %v)", r.Scenario, r.SimNominalCI95, r.SimRobustCI95)
+		}
+	}
+	// The fault-spec shadow actually bites: the degraded trunk must cost
+	// simulated power relative to the clean nominal row. (The class-4
+	// surge can RAISE power — more load on a 1-hop class lifts throughput
+	// faster than delay — so only the degradation row is a one-sided
+	// check.)
+	if res.Rows[1].SimNominal >= res.Rows[0].SimNominal {
+		t.Errorf("degraded-trunk simulated power %v not below nominal row's %v — the fault shadow has no effect",
+			res.Rows[1].SimNominal, res.Rows[0].SimNominal)
+	}
+	var b strings.Builder
+	if err := RenderRobustDimensioning(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Robust dimensioning") || !strings.Contains(out, "worst scenario") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/netmodel"
 )
 
-// FaultSpec injects deterministic failures into a simulation run — the
-// operating conditions Chapter 2 worries about but the product-form model
-// cannot represent. Faults are scheduled in simulated time from the spec
-// alone (no randomness), so a faulted run is exactly as reproducible as a
-// clean one.
+// FaultSpec injects deterministic off-nominal conditions into a simulation
+// run — the operating conditions Chapter 2 worries about but the
+// product-form model cannot represent. Faults are scheduled in simulated
+// time from the spec alone (no randomness), so a faulted run is exactly as
+// reproducible as a clean one: the same spec and seed give the same
+// trajectory at any replication worker count.
 type FaultSpec struct {
 	// Outages are link-down windows: while an outage is active the
 	// channel starts no new transmission. A transmission already in
@@ -23,6 +26,14 @@ type FaultSpec struct {
 	// capacity. Like outages, a transmission in progress at the boundary
 	// keeps the rate it started with.
 	Degradations []Degradation
+	// Surges are per-class exogenous arrival-rate windows: inside the
+	// window class Class generates messages at Factor times its nominal
+	// Poisson rate. Factor > 1 is an overload surge, Factor in (0, 1) a
+	// lull; both are the time-varying traffic Chapter 2's case for window
+	// control rests on. At each boundary the interarrival draw in
+	// progress is discarded and resampled at the new rate — memoryless,
+	// so the modulated process is an exact piecewise-Poisson stream.
+	Surges []Surge
 }
 
 // Outage is one link-down window on one channel.
@@ -41,9 +52,20 @@ type Degradation struct {
 	Factor float64
 }
 
-func checkWindow(what string, i, channel int, start, end float64, nCh int) error {
-	if channel < 0 || channel >= nCh {
-		return fmt.Errorf("sim: %s %d: channel %d out of range [0, %d)", what, i, channel, nCh)
+// Surge is one arrival-rate window on one class.
+type Surge struct {
+	// Class indexes the network's class list.
+	Class      int
+	Start, End float64
+	// Factor scales the class's exogenous arrival rate inside the
+	// window; any positive finite value (> 1 surge, < 1 lull, exactly 1
+	// a no-op window).
+	Factor float64
+}
+
+func checkWindow(what string, i, target int, start, end float64, n int, targetKind string) error {
+	if target < 0 || target >= n {
+		return fmt.Errorf("sim: %s %d: %s %d out of range [0, %d)", what, i, targetKind, target, n)
 	}
 	if math.IsNaN(start) || math.IsInf(start, 0) || math.IsNaN(end) || math.IsInf(end, 0) {
 		return fmt.Errorf("sim: %s %d: non-finite window [%v, %v]", what, i, start, end)
@@ -54,44 +76,61 @@ func checkWindow(what string, i, channel int, start, end float64, nCh int) error
 	return nil
 }
 
-// validate checks the spec against a network with nCh channels. Windows of
-// the same fault type must not overlap on the same channel: overlapping
-// outages would need reference counting, and overlapping degradations have
-// no well-defined factor — both are almost certainly spec bugs.
-func (f *FaultSpec) validate(nCh int) error {
+// Validate checks the spec against the network: every window must name an
+// existing channel (outages, degradations) or class (surges), and windows
+// of the same fault type must not overlap on the same target. This is the
+// check Run performs before any event executes; it is exported so spec
+// loaders (cmd/netsim -faults) can reject a bad file up front with the
+// same error.
+func (f *FaultSpec) Validate(n *netmodel.Network) error {
+	return f.validate(len(n.Channels), len(n.Classes))
+}
+
+// validate checks the spec against a network with nCh channels and nCls
+// classes. Windows of the same fault type must not overlap on the same
+// channel or class: overlapping outages would need reference counting,
+// and overlapping degradations or surges have no well-defined factor —
+// all are almost certainly spec bugs. Adjacent windows that merely touch
+// (a.End == b.Start) are LEGAL: at a shared instant, window-end
+// transitions apply before window-start transitions (regardless of the
+// order the windows appear in the spec), so back-to-back windows compose
+// into one piecewise profile with the second window's state holding from
+// the boundary on. Windows may also extend past the run's Duration;
+// transitions beyond the horizon simply never fire.
+func (f *FaultSpec) validate(nCh, nCls int) error {
 	type span struct {
-		channel    int
+		target     int
 		start, end float64
 	}
-	checkOverlap := func(what string, spans []span) error {
+	checkOverlap := func(what, targetKind string, spans []span) error {
 		sort.Slice(spans, func(i, j int) bool {
-			if spans[i].channel != spans[j].channel {
-				return spans[i].channel < spans[j].channel
+			if spans[i].target != spans[j].target {
+				return spans[i].target < spans[j].target
 			}
 			return spans[i].start < spans[j].start
 		})
 		for i := 1; i < len(spans); i++ {
 			a, b := spans[i-1], spans[i]
-			if a.channel == b.channel && b.start < a.end {
-				return fmt.Errorf("sim: overlapping %s windows on channel %d ([%v, %v] and [%v, %v])",
-					what, a.channel, a.start, a.end, b.start, b.end)
+			if a.target == b.target && b.start < a.end {
+				return fmt.Errorf("sim: overlapping %s windows on %s %d ([%v, %v] and [%v, %v])",
+					what, targetKind, a.target, a.start, a.end, b.start, b.end)
 			}
 		}
 		return nil
 	}
 	outs := make([]span, 0, len(f.Outages))
 	for i, o := range f.Outages {
-		if err := checkWindow("outage", i, o.Channel, o.Start, o.End, nCh); err != nil {
+		if err := checkWindow("outage", i, o.Channel, o.Start, o.End, nCh, "channel"); err != nil {
 			return err
 		}
 		outs = append(outs, span{o.Channel, o.Start, o.End})
 	}
-	if err := checkOverlap("outage", outs); err != nil {
+	if err := checkOverlap("outage", "channel", outs); err != nil {
 		return err
 	}
 	degs := make([]span, 0, len(f.Degradations))
 	for i, d := range f.Degradations {
-		if err := checkWindow("degradation", i, d.Channel, d.Start, d.End, nCh); err != nil {
+		if err := checkWindow("degradation", i, d.Channel, d.Start, d.End, nCh, "channel"); err != nil {
 			return err
 		}
 		if math.IsNaN(d.Factor) || d.Factor <= 0 || d.Factor > 1 {
@@ -99,7 +138,20 @@ func (f *FaultSpec) validate(nCh int) error {
 		}
 		degs = append(degs, span{d.Channel, d.Start, d.End})
 	}
-	return checkOverlap("degradation", degs)
+	if err := checkOverlap("degradation", "channel", degs); err != nil {
+		return err
+	}
+	surges := make([]span, 0, len(f.Surges))
+	for i, sg := range f.Surges {
+		if err := checkWindow("surge", i, sg.Class, sg.Start, sg.End, nCls, "class"); err != nil {
+			return err
+		}
+		if math.IsNaN(sg.Factor) || math.IsInf(sg.Factor, 0) || sg.Factor <= 0 {
+			return fmt.Errorf("sim: surge %d: Factor %v; need a positive finite value", i, sg.Factor)
+		}
+		surges = append(surges, span{sg.Class, sg.Start, sg.End})
+	}
+	return checkOverlap("surge", "class", surges)
 }
 
 // faultOp is one scheduled fault state transition.
@@ -109,13 +161,21 @@ const (
 	opLinkDown faultOp = iota
 	opLinkUp
 	opRateSet
+	opSurgeSet
 )
 
 type faultTransition struct {
-	at      float64
-	channel int
-	op      faultOp
-	scale   float64 // opRateSet only
+	at     float64
+	target int // channel (link/rate ops) or class (surge ops)
+	op     faultOp
+	scale  float64 // opRateSet / opSurgeSet only
+	// ending marks a window-end transition. At equal instants ends apply
+	// before starts (the event queue breaks time ties FIFO, and
+	// scheduleFaults pushes in (at, ending-first) order), so adjacent
+	// windows with a.End == b.Start compose into one piecewise profile:
+	// the second window's factor wins at the shared boundary regardless
+	// of spec order.
+	ending bool
 }
 
 // scheduleFaults books every fault transition as an evFault event. Called
@@ -124,14 +184,25 @@ type faultTransition struct {
 func (s *state) scheduleFaults(f *FaultSpec) {
 	for _, o := range f.Outages {
 		s.faults = append(s.faults,
-			faultTransition{at: o.Start, channel: o.Channel, op: opLinkDown},
-			faultTransition{at: o.End, channel: o.Channel, op: opLinkUp})
+			faultTransition{at: o.Start, target: o.Channel, op: opLinkDown},
+			faultTransition{at: o.End, target: o.Channel, op: opLinkUp, ending: true})
 	}
 	for _, d := range f.Degradations {
 		s.faults = append(s.faults,
-			faultTransition{at: d.Start, channel: d.Channel, op: opRateSet, scale: d.Factor},
-			faultTransition{at: d.End, channel: d.Channel, op: opRateSet, scale: 1})
+			faultTransition{at: d.Start, target: d.Channel, op: opRateSet, scale: d.Factor},
+			faultTransition{at: d.End, target: d.Channel, op: opRateSet, scale: 1, ending: true})
 	}
+	for _, sg := range f.Surges {
+		s.faults = append(s.faults,
+			faultTransition{at: sg.Start, target: sg.Class, op: opSurgeSet, scale: sg.Factor},
+			faultTransition{at: sg.End, target: sg.Class, op: opSurgeSet, scale: 1, ending: true})
+	}
+	sort.SliceStable(s.faults, func(i, j int) bool {
+		if s.faults[i].at != s.faults[j].at {
+			return s.faults[i].at < s.faults[j].at
+		}
+		return s.faults[i].ending && !s.faults[j].ending
+	})
 	for i := range s.faults {
 		s.events.push(s.faults[i].at, evFault, -1, i)
 	}
@@ -139,16 +210,24 @@ func (s *state) scheduleFaults(f *FaultSpec) {
 
 // handleFault applies transition idx. Link-up restarts the channel if work
 // queued while it was down; rate changes take effect on the next service
-// start (the transmission in flight keeps its booked completion time).
+// start (the transmission in flight keeps its booked completion time); a
+// surge boundary invalidates the pending interarrival draw via the epoch
+// counter and resamples it at the new rate.
 func (s *state) handleFault(idx int) {
 	f := &s.faults[idx]
 	switch f.op {
 	case opLinkDown:
-		s.chanDown[f.channel] = true
+		s.chanDown[f.target] = true
 	case opLinkUp:
-		s.chanDown[f.channel] = false
-		s.startNextIfAny(f.channel)
+		s.chanDown[f.target] = false
+		s.startNextIfAny(f.target)
 	case opRateSet:
-		s.rateScale[f.channel] = f.scale
+		s.rateScale[f.target] = f.scale
+	case opSurgeSet:
+		s.classRateScale[f.target] = f.scale
+		cs := &s.classes[f.target]
+		cs.arrivalEpoch++
+		cs.arrivalPending = false
+		s.scheduleArrival(f.target)
 	}
 }

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/netmodel"
+)
+
+// FaultSpecFile is the JSON wire form of a FaultSpec, with channels and
+// classes referenced by name so that hand-written fault files stay
+// readable alongside netmodel.Spec network files. It is the input format
+// of cmd/netsim's -faults flag.
+type FaultSpecFile struct {
+	Outages      []OutageSpec      `json:"outages,omitempty"`
+	Degradations []DegradationSpec `json:"degradations,omitempty"`
+	Surges       []SurgeSpec       `json:"surges,omitempty"`
+}
+
+// OutageSpec is one link-down window in a FaultSpecFile.
+type OutageSpec struct {
+	Channel string  `json:"channel"`
+	Start   float64 `json:"start_sec"`
+	End     float64 `json:"end_sec"`
+}
+
+// DegradationSpec is one service-rate degradation window in a
+// FaultSpecFile.
+type DegradationSpec struct {
+	Channel string  `json:"channel"`
+	Start   float64 `json:"start_sec"`
+	End     float64 `json:"end_sec"`
+	Factor  float64 `json:"factor"`
+}
+
+// SurgeSpec is one per-class arrival-rate window in a FaultSpecFile.
+type SurgeSpec struct {
+	Class  string  `json:"class"`
+	Start  float64 `json:"start_sec"`
+	End    float64 `json:"end_sec"`
+	Factor float64 `json:"factor"`
+}
+
+// ParseFaultSpec decodes a JSON fault file and resolves its channel and
+// class names against the network. The resolved spec is validated with
+// the same check Run performs, and a validation failure is returned
+// verbatim, so a bad file is rejected with the exact error a direct Run
+// would produce.
+func ParseFaultSpec(data []byte, n *netmodel.Network) (*FaultSpec, error) {
+	var file FaultSpecFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("sim: parsing fault spec: %w", err)
+	}
+	return file.Resolve(n)
+}
+
+// Resolve converts the file's name references into a validated FaultSpec.
+func (file *FaultSpecFile) Resolve(n *netmodel.Network) (*FaultSpec, error) {
+	chanIdx := make(map[string]int, len(n.Channels))
+	for l := range n.Channels {
+		chanIdx[n.Channels[l].Name] = l
+	}
+	classIdx := make(map[string]int, len(n.Classes))
+	for r := range n.Classes {
+		classIdx[n.Classes[r].Name] = r
+	}
+	f := &FaultSpec{}
+	for i, o := range file.Outages {
+		l, ok := chanIdx[o.Channel]
+		if !ok {
+			return nil, fmt.Errorf("sim: outage %d references unknown channel %q", i, o.Channel)
+		}
+		f.Outages = append(f.Outages, Outage{Channel: l, Start: o.Start, End: o.End})
+	}
+	for i, d := range file.Degradations {
+		l, ok := chanIdx[d.Channel]
+		if !ok {
+			return nil, fmt.Errorf("sim: degradation %d references unknown channel %q", i, d.Channel)
+		}
+		f.Degradations = append(f.Degradations, Degradation{Channel: l, Start: d.Start, End: d.End, Factor: d.Factor})
+	}
+	for i, sg := range file.Surges {
+		r, ok := classIdx[sg.Class]
+		if !ok {
+			return nil, fmt.Errorf("sim: surge %d references unknown class %q", i, sg.Class)
+		}
+		f.Surges = append(f.Surges, Surge{Class: r, Start: sg.Start, End: sg.End, Factor: sg.Factor})
+	}
+	if err := f.Validate(n); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -106,9 +106,10 @@ type Config struct {
 	// BurstOn is the mean on-period in seconds when Burstiness > 1
 	// (default 1).
 	BurstOn float64
-	// Faults, when non-nil, injects link outages and service-rate
-	// degradations at scheduled simulated times (see FaultSpec). Faults
-	// are deterministic: the same spec and seed reproduce the same run.
+	// Faults, when non-nil, injects link outages, service-rate
+	// degradations and per-class arrival-rate surges at scheduled
+	// simulated times (see FaultSpec). Faults are deterministic: the
+	// same spec and seed reproduce the same run.
 	Faults *FaultSpec
 }
 
@@ -228,7 +229,7 @@ func Run(n *netmodel.Network, cfg Config) (*Result, error) {
 		cfg.BurstOn = 1
 	}
 	if cfg.Faults != nil {
-		if err := cfg.Faults.validate(len(n.Channels)); err != nil {
+		if err := cfg.Faults.validate(len(n.Channels), len(n.Classes)); err != nil {
 			return nil, err
 		}
 	}

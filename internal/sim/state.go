@@ -97,10 +97,13 @@ type state struct {
 
 	// Fault injection (fault.go): chanDown[l] stops channel l from
 	// starting new transmissions; rateScale[l] multiplies its capacity
-	// for transmissions started now; faults is the transition schedule.
-	chanDown  []bool
-	rateScale []float64
-	faults    []faultTransition
+	// for transmissions started now; classRateScale[r] multiplies class
+	// r's exogenous arrival rate (traffic surges); faults is the
+	// transition schedule.
+	chanDown       []bool
+	rateScale      []float64
+	classRateScale []float64
+	faults         []faultTransition
 
 	stats *collector
 }
@@ -116,12 +119,16 @@ func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*stat
 		inNet:     make([]int, len(n.Classes)),
 		nodeLimit: make([]int, len(n.Nodes)),
 		blockedOn: make([][]int, len(n.Nodes)),
-		permits:   -1,
-		chanDown:  make([]bool, len(n.Channels)),
-		rateScale: make([]float64, len(n.Channels)),
+		permits:        -1,
+		chanDown:       make([]bool, len(n.Channels)),
+		rateScale:      make([]float64, len(n.Channels)),
+		classRateScale: make([]float64, len(n.Classes)),
 	}
 	for l := range s.rateScale {
 		s.rateScale[l] = 1
+	}
+	for r := range s.classRateScale {
+		s.classRateScale[r] = 1
 	}
 	if cfg.GlobalPermits > 0 {
 		s.permits = cfg.GlobalPermits
@@ -258,7 +265,7 @@ func (s *state) scheduleArrival(r int) {
 			return
 		}
 	}
-	rate := s.net.Classes[r].Rate
+	rate := s.net.Classes[r].Rate * s.classRateScale[r]
 	if s.cfg.Burstiness > 1 {
 		rate *= s.cfg.Burstiness // peak rate during on-periods
 	}

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/topo"
+)
+
+// TestSurgeRaisesOfferedLoad: doubling a class's arrival rate for most of
+// the run must raise its delivered throughput (the network has headroom
+// at the test load), and a matching lull must lower it.
+func TestSurgeRaisesOfferedLoad(t *testing.T) {
+	n := topo.Canada2Class(15, 15)
+	clean, err := Run(n, faultBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Surges: []Surge{{Class: 0, Start: 100, End: 900, Factor: 2}}}
+	surged, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surged.PerClass[0].Throughput <= clean.PerClass[0].Throughput {
+		t.Errorf("surge did not raise class-0 throughput: %v vs clean %v",
+			surged.PerClass[0].Throughput, clean.PerClass[0].Throughput)
+	}
+	cfg = faultBaseConfig()
+	cfg.Faults = &FaultSpec{Surges: []Surge{{Class: 0, Start: 100, End: 900, Factor: 0.25}}}
+	lulled, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lulled.PerClass[0].Throughput >= clean.PerClass[0].Throughput {
+		t.Errorf("lull did not lower class-0 throughput: %v vs clean %v",
+			lulled.PerClass[0].Throughput, clean.PerClass[0].Throughput)
+	}
+}
+
+// TestSurgeFactorOneIsNoOp: a Factor == 1 surge window changes nothing —
+// the resample at each boundary draws from the same exponential stream
+// position only if no boundary fires, so this asserts the stronger
+// property that the no-op window is validated and harmless, and the run
+// stays deterministic.
+func TestSurgeFactorOneIsNoOp(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Surges: []Surge{{Class: 1, Start: 200, End: 600, Factor: 1}}}
+	a, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Delay != b.Delay {
+		t.Fatalf("no-op surge runs diverged: (%v, %v) vs (%v, %v)", a.Throughput, a.Delay, b.Throughput, b.Delay)
+	}
+	if a.Throughput <= 0 {
+		t.Fatal("no-op surge killed the run")
+	}
+}
+
+// TestSurgePastHorizon: a surge window entirely beyond cfg.Duration is
+// legal and has no effect — its transitions never fire.
+func TestSurgePastHorizon(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	clean, err := Run(n, faultBaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Surges: []Surge{{Class: 0, Start: 5000, End: 6000, Factor: 3}}}
+	res, err := Run(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != clean.Throughput || res.Delay != clean.Delay {
+		t.Errorf("beyond-horizon surge changed the run: (%v, %v) vs (%v, %v)",
+			res.Throughput, res.Delay, clean.Throughput, clean.Delay)
+	}
+}
+
+// TestSurgeAdjacentWindows: back-to-back surge windows with
+// a.End == b.Start are legal (documented contract) and compose into one
+// piecewise profile, in either spec order.
+func TestSurgeAdjacentWindows(t *testing.T) {
+	n := topo.Canada2Class(15, 15)
+	forward := faultBaseConfig()
+	forward.Faults = &FaultSpec{Surges: []Surge{
+		{Class: 0, Start: 100, End: 500, Factor: 2},
+		{Class: 0, Start: 500, End: 900, Factor: 0.5},
+	}}
+	a, err := Run(n, forward)
+	if err != nil {
+		t.Fatalf("adjacent surge windows rejected: %v", err)
+	}
+	// Same windows listed in reverse order: ends still apply before starts
+	// at the shared instant, so the trajectory is identical.
+	backward := faultBaseConfig()
+	backward.Faults = &FaultSpec{Surges: []Surge{
+		{Class: 0, Start: 500, End: 900, Factor: 0.5},
+		{Class: 0, Start: 100, End: 500, Factor: 2},
+	}}
+	b, err := Run(n, backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Delay != b.Delay {
+		t.Errorf("spec order changed adjacent-window trajectory: (%v, %v) vs (%v, %v)",
+			a.Throughput, a.Delay, b.Throughput, b.Delay)
+	}
+}
+
+// TestAdjacentOutageWindowsOrderIndependent: the ends-before-starts rule
+// holds for channel faults too — adjacent outages in reverse spec order
+// leave the channel down across the boundary exactly as forward order
+// does.
+func TestAdjacentOutageWindowsOrderIndependent(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	forward := faultBaseConfig()
+	forward.Faults = &FaultSpec{Outages: []Outage{
+		{Channel: 0, Start: 300, End: 500},
+		{Channel: 0, Start: 500, End: 700},
+	}}
+	a, err := Run(n, forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backward := faultBaseConfig()
+	backward.Faults = &FaultSpec{Outages: []Outage{
+		{Channel: 0, Start: 500, End: 700},
+		{Channel: 0, Start: 300, End: 500},
+	}}
+	b, err := Run(n, backward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Delay != b.Delay {
+		t.Errorf("spec order changed adjacent-outage trajectory: (%v, %v) vs (%v, %v)",
+			a.Throughput, a.Delay, b.Throughput, b.Delay)
+	}
+}
+
+// TestSurgeValidation rejects malformed surge specs with the documented
+// errors before any event runs.
+func TestSurgeValidation(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10 // +Inf without importing math
+	}
+	cases := []struct {
+		name string
+		spec *FaultSpec
+		want string
+	}{
+		{"class out of range", &FaultSpec{Surges: []Surge{{Class: 7, Start: 1, End: 2, Factor: 2}}}, "out of range"},
+		{"negative class", &FaultSpec{Surges: []Surge{{Class: -1, Start: 1, End: 2, Factor: 2}}}, "out of range"},
+		{"inverted window", &FaultSpec{Surges: []Surge{{Class: 0, Start: 5, End: 5, Factor: 2}}}, "Start < End"},
+		{"zero factor", &FaultSpec{Surges: []Surge{{Class: 0, Start: 1, End: 2, Factor: 0}}}, "Factor"},
+		{"negative factor", &FaultSpec{Surges: []Surge{{Class: 0, Start: 1, End: 2, Factor: -2}}}, "Factor"},
+		{"infinite factor", &FaultSpec{Surges: []Surge{{Class: 0, Start: 1, End: 2, Factor: inf}}}, "Factor"},
+		{"nan factor", &FaultSpec{Surges: []Surge{{Class: 0, Start: 1, End: 2, Factor: inf - inf}}}, "Factor"},
+		{"overlapping surges", &FaultSpec{Surges: []Surge{
+			{Class: 0, Start: 1, End: 10, Factor: 2}, {Class: 0, Start: 5, End: 15, Factor: 3},
+		}}, "overlapping"},
+	}
+	for _, tc := range cases {
+		cfg := faultBaseConfig()
+		cfg.Faults = tc.spec
+		_, err := Run(n, cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Overlapping surges on DIFFERENT classes are legal, as is a surge
+	// overlapping a channel fault.
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{
+		Surges: []Surge{
+			{Class: 0, Start: 100, End: 400, Factor: 2},
+			{Class: 1, Start: 200, End: 500, Factor: 0.5},
+		},
+		Degradations: []Degradation{{Channel: 0, Start: 150, End: 450, Factor: 0.5}},
+	}
+	if _, err := Run(n, cfg); err != nil {
+		t.Fatalf("legal surge spec rejected: %v", err)
+	}
+}
+
+// TestSurgeZeroRateClassImpossible: a surge cannot create a zero-rate
+// arrival process, and a zero nominal rate never reaches the fault
+// machinery — network validation rejects it first, so rng.Exp's positive-
+// rate precondition holds throughout.
+func TestSurgeZeroRateClassImpossible(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	n.Classes[0].Rate = 0
+	cfg := faultBaseConfig()
+	cfg.Faults = &FaultSpec{Surges: []Surge{{Class: 0, Start: 1, End: 2, Factor: 2}}}
+	_, err := Run(n, cfg)
+	if err == nil {
+		t.Fatal("zero-rate class accepted")
+	}
+	if !strings.Contains(err.Error(), "arrival rate") {
+		t.Errorf("error %q does not point at the class rate", err)
+	}
+}
+
+// TestSurgeReplicationsWorkerIndependent is the PR's acceptance property:
+// RunReplications with a surge-bearing FaultSpec produces identical
+// means and confidence intervals for workers = 1 and workers = 8.
+func TestSurgeReplicationsWorkerIndependent(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	cfg := Config{
+		Duration: 600, Warmup: 60, Seed: 11, Windows: numeric.IntVector{4, 4},
+		Faults: &FaultSpec{
+			Surges:       []Surge{{Class: 0, Start: 100, End: 400, Factor: 2}},
+			Degradations: []Degradation{{Channel: 1, Start: 200, End: 500, Factor: 0.5}},
+		},
+	}
+	serial, err := RunReplications(nil, n, cfg, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunReplications(nil, n, cfg, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Completed != 6 || parallel.Completed != 6 {
+		t.Fatalf("completed %d / %d of 6", serial.Completed, parallel.Completed)
+	}
+	if serial.Throughput != parallel.Throughput ||
+		serial.ThroughputCI95 != parallel.ThroughputCI95 ||
+		serial.Delay != parallel.Delay ||
+		serial.DelayCI95 != parallel.DelayCI95 ||
+		serial.Power != parallel.Power ||
+		serial.PowerCI95 != parallel.PowerCI95 {
+		t.Errorf("worker count changed surged batch aggregates:\n1 worker: %+v\n8 workers: %+v", serial, parallel)
+	}
+	for c := range serial.PerClass {
+		if serial.PerClass[c] != parallel.PerClass[c] {
+			t.Errorf("class %d aggregates differ: %+v vs %+v", c, serial.PerClass[c], parallel.PerClass[c])
+		}
+	}
+}
+
+// TestParseFaultSpec covers the JSON wire form: name resolution, unknown
+// names, and verbatim validation errors.
+func TestParseFaultSpec(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	data := []byte(`{
+		"outages": [{"channel": "EW", "start_sec": 100, "end_sec": 200}],
+		"degradations": [{"channel": "WT", "start_sec": 300, "end_sec": 400, "factor": 0.5}],
+		"surges": [{"class": "class1", "start_sec": 100, "end_sec": 500, "factor": 2}]
+	}`)
+	f, err := ParseFaultSpec(data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Outages) != 1 || f.Outages[0].Channel != topo.ChEW {
+		t.Errorf("outage resolved to %+v", f.Outages)
+	}
+	if len(f.Degradations) != 1 || f.Degradations[0].Channel != topo.ChWT {
+		t.Errorf("degradation resolved to %+v", f.Degradations)
+	}
+	if len(f.Surges) != 1 || f.Surges[0].Class != 0 || f.Surges[0].Factor != 2 {
+		t.Errorf("surge resolved to %+v", f.Surges)
+	}
+	// The parsed spec drives a run.
+	cfg := faultBaseConfig()
+	cfg.Faults = f
+	if _, err := Run(n, cfg); err != nil {
+		t.Fatalf("parsed spec rejected by Run: %v", err)
+	}
+
+	if _, err := ParseFaultSpec([]byte(`{"surges": [{"class": "nosuch", "start_sec": 1, "end_sec": 2, "factor": 2}]}`), n); err == nil || !strings.Contains(err.Error(), `unknown class "nosuch"`) {
+		t.Errorf("unknown class error: %v", err)
+	}
+	if _, err := ParseFaultSpec([]byte(`{"outages": [{"channel": "nosuch", "start_sec": 1, "end_sec": 2}]}`), n); err == nil || !strings.Contains(err.Error(), `unknown channel "nosuch"`) {
+		t.Errorf("unknown channel error: %v", err)
+	}
+	if _, err := ParseFaultSpec([]byte(`not json`), n); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+
+	// A spec failing validation is rejected with the exact error Run's own
+	// validation produces.
+	bad := []byte(`{"surges": [{"class": "class1", "start_sec": 5, "end_sec": 2, "factor": 2}]}`)
+	_, parseErr := ParseFaultSpec(bad, n)
+	if parseErr == nil {
+		t.Fatal("invalid window accepted")
+	}
+	direct := (&FaultSpec{Surges: []Surge{{Class: 0, Start: 5, End: 2, Factor: 2}}}).Validate(n)
+	if direct == nil || parseErr.Error() != direct.Error() {
+		t.Errorf("parse error %q != direct validate error %q", parseErr, direct)
+	}
+}
