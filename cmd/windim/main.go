@@ -22,7 +22,16 @@
 // finds the nominal optimum, then re-optimises the worst-scenario power
 // (-robust minmax) or the weighted mean power (-robust weighted) seeded
 // from the nominal vector, and prints both vectors' per-scenario
-// exposure side by side.
+// exposure side by side. -sample-scenarios N generates the scenario set
+// instead (deterministic under -scenario-seed, dominated scenarios
+// pruned); -degrade-after and -min-scenarios control graceful scenario
+// degradation during the robust search.
+//
+// Long searches can be made durable: -checkpoint writes the search state
+// atomically on every commit (cadence -checkpoint-every), and -resume
+// restarts from such a file, converging to the bit-identical result of
+// an uninterrupted run. -eval-timeout arms a per-candidate watchdog that
+// reroutes stalled fixed points into the solver fallback chain.
 package main
 
 import (
@@ -62,6 +71,14 @@ func run(args []string) error {
 	noFallback := fs.Bool("no-fallback", false, "disable the resilient solver chain (non-converged candidates fail immediately)")
 	scenarioFile := fs.String("scenarios", "", "JSON scenario set; dimensions robustly against it instead of the nominal point only")
 	robust := fs.String("robust", "minmax", "robust criterion with -scenarios: minmax (worst-scenario power) or weighted (probability-weighted mean power)")
+	sampleScenarios := fs.Int("sample-scenarios", 0, "generate N random capacity/rate scenarios and dimension robustly against them (dominated scenarios pruned)")
+	scenarioSeed := fs.Uint64("scenario-seed", 1, "seed for -sample-scenarios (same seed, same set)")
+	degradeAfter := fs.Int("degrade-after", 0, "exclude a scenario after this many non-converged candidates instead of vetoing them (0 = off)")
+	minScenarios := fs.Int("min-scenarios", 0, "abort if scenario degradation would leave fewer active scenarios than this (0 = 1)")
+	checkpoint := fs.String("checkpoint", "", "write durable search checkpoints to this file (pattern search only)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "commit cadence of checkpoint writes (0 = every commit)")
+	resume := fs.String("resume", "", "resume the search from a checkpoint file written by a previous run with the same model and options")
+	evalTimeout := fs.Duration("eval-timeout", 0, "per-candidate watchdog: a solve exceeding max(this, 8x the rolling mean solve time) is rerouted into the fallback chain (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,7 +90,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxWindow: *maxWindow, Workers: *workers, DisableFallback: *noFallback}
+	opts := core.Options{
+		MaxWindow:       *maxWindow,
+		Workers:         *workers,
+		DisableFallback: *noFallback,
+		EvalTimeout:     *evalTimeout,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		ResumePath:      *resume,
+		DegradeAfter:    *degradeAfter,
+		MinScenarios:    *minScenarios,
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -125,7 +152,7 @@ func run(args []string) error {
 		return runSweep(n, opts, scales)
 	}
 
-	if *scenarioFile != "" {
+	if *scenarioFile != "" || *sampleScenarios > 0 {
 		var kind core.RobustKind
 		switch *robust {
 		case "minmax":
@@ -135,13 +162,37 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown robust criterion %q (want minmax or weighted)", *robust)
 		}
-		data, err := os.ReadFile(*scenarioFile)
-		if err != nil {
-			return err
-		}
-		scenarios, err := core.ParseScenarios(data, n)
-		if err != nil {
-			return err
+		var scenarios []core.Scenario
+		switch {
+		case *scenarioFile != "" && *sampleScenarios > 0:
+			return fmt.Errorf("-scenarios and -sample-scenarios are mutually exclusive")
+		case *scenarioFile != "":
+			data, err := os.ReadFile(*scenarioFile)
+			if err != nil {
+				return err
+			}
+			scenarios, err = core.ParseScenarios(data, n)
+			if err != nil {
+				return err
+			}
+		default:
+			sampled, err := core.SampleScenarios(n, core.SampleOptions{
+				Count: *sampleScenarios,
+				Seed:  *scenarioSeed,
+				// The weighted criterion averages over ALL scenarios, so
+				// dominance pruning (a minimax-only argument) must stay off.
+				KeepDominated: kind == core.RobustWeighted,
+			})
+			if err != nil {
+				return err
+			}
+			if pruned := *sampleScenarios - len(sampled); pruned > 0 {
+				fmt.Printf("sampled %d scenarios (seed %d), pruned %d dominated\n",
+					*sampleScenarios, *scenarioSeed, pruned)
+			} else {
+				fmt.Printf("sampled %d scenarios (seed %d)\n", *sampleScenarios, *scenarioSeed)
+			}
+			scenarios = sampled
 		}
 		return runRobust(n, opts, scenarios, kind)
 	}
@@ -190,6 +241,9 @@ func run(args []string) error {
 	if rescued := res.Fallbacks.Rescued(); rescued > 0 {
 		fmt.Printf("fallback chain: %d candidate(s) rescued (%v)\n", rescued, res.Fallbacks)
 	}
+	if res.WatchdogTrips > 0 {
+		fmt.Printf("watchdog: %d solve(s) cut short into the fallback chain\n", res.WatchdogTrips)
+	}
 	if *trace {
 		fmt.Println("base points:")
 		for _, p := range res.Search.BasePoints {
@@ -204,7 +258,12 @@ func run(args []string) error {
 // (which guarantees the minimax result protects the worst scenario at
 // least as well), and prints both vectors' per-scenario exposure.
 func runRobust(n *netmodel.Network, opts core.Options, scenarios []core.Scenario, kind core.RobustKind) error {
-	nominal, err := core.Dimension(n, opts)
+	// Checkpoint/resume applies to the long robust search, not the nominal
+	// seeding run (whose checkpoint would also collide on the same path).
+	nopts := opts
+	nopts.CheckpointPath = ""
+	nopts.ResumePath = ""
+	nominal, err := core.Dimension(n, nopts)
 	if err != nil {
 		if nominal == nil {
 			return err
@@ -250,7 +309,9 @@ func runRobust(n *netmodel.Network, opts core.Options, scenarios []core.Scenario
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("\nworst scenario  : %s\n", scenarios[res.WorstScenario].Name)
+	if res.WorstScenario >= 0 {
+		fmt.Printf("\nworst scenario  : %s\n", scenarios[res.WorstScenario].Name)
+	}
 	fmt.Printf("worst-case power: %s robust vs %s nominal\n",
 		report.Float(res.WorstPower, 1), report.Float(nominalWorst, 1))
 	fmt.Printf("weighted power  : %s robust\n", report.Float(res.WeightedPower, 1))
@@ -258,6 +319,12 @@ func runRobust(n *netmodel.Network, opts core.Options, scenarios []core.Scenario
 		res.Search.Evaluations, res.NonConverged)
 	if rescued := res.Fallbacks.Rescued(); rescued > 0 {
 		fmt.Printf("fallback chain: %d evaluation(s) rescued (%v)\n", rescued, res.Fallbacks)
+	}
+	if res.WatchdogTrips > 0 {
+		fmt.Printf("watchdog: %d solve(s) cut short into the fallback chain\n", res.WatchdogTrips)
+	}
+	for _, d := range res.Degraded {
+		fmt.Printf("degraded scenario %q: %s\n", d.Name, d.Reason)
 	}
 	return nil
 }

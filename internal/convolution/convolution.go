@@ -18,6 +18,7 @@
 package convolution
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,13 +26,25 @@ import (
 	"repro/internal/qnet"
 )
 
+// ErrUnstable reports that the normalisation-constant computation left the
+// representable floating-point range even after power-of-two rescaling —
+// the population lattice is too extreme for the convolution algorithm in
+// 64-bit arithmetic. Callers should fall back to MVA (which works in
+// per-station means, not lattice-sized products) for such models.
+var ErrUnstable = errors.New("convolution: normalisation constant numerically unstable")
+
 // Solution is the exact steady-state solution of a closed multichain
 // network.
 type Solution struct {
 	// G is the normalisation constant at the full population vector,
 	// under the internal per-chain demand scaling (its absolute value is
 	// implementation-defined; ratios of g values are what carry meaning).
+	// The true constant under that scaling is G × 2^GShift.
 	G float64
+	// GShift is the power-of-two exponent stripped from G by the
+	// stability rescaling. Zero whenever the computation stayed well
+	// inside the floating-point range (all small-population oracles).
+	GShift int
 	// Throughput[w] is chain w's throughput in customers/second per unit
 	// visit ratio: the throughput observed at station i is
 	// Visits[w][i] * Throughput[w].
@@ -120,14 +133,52 @@ func (s *solver) identity() []float64 {
 	return g
 }
 
+// rescaleExponentLimit is the binary-exponent drift tolerated in a running
+// normalisation array before it is renormalised. Far from the float64
+// limits (±1024), so a single station's convolution cannot push a
+// just-rescaled array into overflow unless it multiplies magnitudes by
+// more than 2^512 at once — which the rescale step then reports as
+// ErrUnstable instead of letting ±Inf/NaN propagate silently.
+const rescaleExponentLimit = 512
+
+// rescalePow2 renormalises g in place when its peak magnitude has drifted
+// beyond 2^±rescaleExponentLimit, returning the power-of-two exponent
+// stripped (true values = stored × 2^shift). Scaling by powers of two is
+// EXACT, so results are bit-identical whether or not a rescale fired —
+// the guard changes no oracle value, it only extends the reachable range.
+func rescalePow2(g []float64) (int, error) {
+	maxAbs := 0.0
+	for _, v := range g {
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("%w: NaN in normalisation array", ErrUnstable)
+		}
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) {
+		return 0, fmt.Errorf("%w: normalisation array peak %v", ErrUnstable, maxAbs)
+	}
+	_, exp := math.Frexp(maxAbs)
+	if exp >= -rescaleExponentLimit && exp <= rescaleExponentLimit {
+		return 0, nil
+	}
+	for i := range g {
+		g[i] = math.Ldexp(g[i], -exp)
+	}
+	return exp, nil
+}
+
 // convolveStation returns the convolution of g with station i's capacity
-// inverse, truncated to the lattice.
-func (s *solver) convolveStation(i int, g []float64) []float64 {
+// inverse, truncated to the lattice, plus the power-of-two shift the
+// station's capacity coefficients carry (nonzero only on the log2 path).
+func (s *solver) convolveStation(i int, g []float64) ([]float64, int) {
 	st := &s.net.Stations[i]
 	if st.Kind != qnet.IS && !st.IsQueueDependent() {
-		return s.convolveFixedRate(i, g)
+		return s.convolveFixedRate(i, g), 0
 	}
-	return s.convolveGeneral(i, g)
+	c, cShift := s.capacityCoefficients(i)
+	return s.convolveGeneral(c, g), cShift
 }
 
 // convolveFixedRate applies eq. 3.30 in place on a copy:
@@ -151,10 +202,40 @@ func (s *solver) convolveFixedRate(n int, g []float64) []float64 {
 	return out
 }
 
+// factorialOverflowTotal is the largest population whose factorial is
+// finite in float64 (171! overflows); beyond it the direct eq. 3.27
+// evaluation is guaranteed to produce ±Inf intermediates.
+const factorialOverflowTotal = 170
+
 // capacityCoefficients returns c_n(j) for all lattice points j
 // (eq. 3.27): c_n(j) = a_n(|j|) * |j|! * prod_w rho_nw^{j_w} / j_w!,
-// with a_n(k) = 1 / prod_{l=1..k} RateFactor(l).
-func (s *solver) capacityCoefficients(n int) []float64 {
+// with a_n(k) = 1 / prod_{l=1..k} RateFactor(l), together with a
+// power-of-two shift (true = returned × 2^shift).
+//
+// The direct evaluation is used whenever it stays finite — it then carries
+// shift 0 and is bit-identical to the historical code. Populations beyond
+// 170 (where the |j|! table overflows) and extreme rate factors switch to
+// a log2-space evaluation whose coefficients come back normalised to peak
+// near 2^0; its values agree with the direct ones to ordinary rounding,
+// where both exist.
+func (s *solver) capacityCoefficients(n int) ([]float64, int) {
+	if s.h.Sum() <= factorialOverflowTotal {
+		c := s.capacityCoefficientsDirect(n)
+		finite := true
+		for _, v := range c {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				finite = false
+				break
+			}
+		}
+		if finite {
+			return c, 0
+		}
+	}
+	return s.capacityCoefficientsLog2(n)
+}
+
+func (s *solver) capacityCoefficientsDirect(n int) []float64 {
 	st := &s.net.Stations[n]
 	maxTotal := s.h.Sum()
 	a := make([]float64, maxTotal+1)
@@ -186,9 +267,57 @@ func (s *solver) capacityCoefficients(n int) []float64 {
 	return c
 }
 
-// convolveGeneral performs the direct truncated convolution out = c_n * g.
-func (s *solver) convolveGeneral(n int, g []float64) []float64 {
-	c := s.capacityCoefficients(n)
+// capacityCoefficientsLog2 evaluates eq. 3.27 in log2 space, immune to the
+// factorial/rate-factor overflow of the direct path. A zero rho with a
+// positive j_w is a structural zero (log -Inf) and stays exactly zero.
+func (s *solver) capacityCoefficientsLog2(n int) ([]float64, int) {
+	st := &s.net.Stations[n]
+	maxTotal := s.h.Sum()
+	la := make([]float64, maxTotal+1)
+	lfact := make([]float64, maxTotal+1)
+	for k := 1; k <= maxTotal; k++ {
+		la[k] = la[k-1] - math.Log2(st.RateFactor(k))
+		lfact[k] = lfact[k-1] + math.Log2(float64(k))
+	}
+	lrho := make([]float64, s.w)
+	for w := 0; w < s.w; w++ {
+		lrho[w] = math.Log2(s.rho.At(n, w))
+	}
+	lc := make([]float64, s.size)
+	peak := math.Inf(-1)
+	idx := 0
+	numeric.LatticeWalk(s.h, func(p numeric.IntVector) {
+		total := 0
+		acc := 0.0
+		for w := 0; w < s.w; w++ {
+			if jw := p[w]; jw > 0 {
+				total += jw
+				acc += float64(jw)*lrho[w] - lfact[jw]
+			}
+		}
+		l := la[total] + lfact[total] + acc
+		lc[idx] = l
+		if l > peak {
+			peak = l
+		}
+		idx++
+	})
+	shift := 0
+	if !math.IsInf(peak, -1) && !math.IsNaN(peak) {
+		shift = int(peak)
+	}
+	c := make([]float64, s.size)
+	for i := range lc {
+		if math.IsInf(lc[i], -1) {
+			continue
+		}
+		c[i] = math.Exp2(lc[i] - float64(shift))
+	}
+	return c, shift
+}
+
+// convolveGeneral performs the direct truncated convolution out = c * g.
+func (s *solver) convolveGeneral(c, g []float64) []float64 {
 	out := make([]float64, s.size)
 	// out(p) = sum_{0<=j<=p} c(j) g(p-j). Enumerate p, then j <= p.
 	p := numeric.NewIntVector(s.w)
@@ -214,27 +343,43 @@ func (s *solver) convolveGeneral(n int, g []float64) []float64 {
 }
 
 // convolveAllExcept returns the convolution of all stations except skip
-// (the g_(n-) array of eq. 3.24a), or of all stations when skip < 0.
-func (s *solver) convolveAllExcept(skip int) []float64 {
+// (the g_(n-) array of eq. 3.24a), or of all stations when skip < 0,
+// together with the power-of-two shift the array carries (true values =
+// returned × 2^shift). The shift accumulates the stability rescales and
+// any scaled capacity coefficients; it is zero on every network the
+// historical code could solve.
+func (s *solver) convolveAllExcept(skip int) ([]float64, int, error) {
 	g := s.identity()
+	shift := 0
 	for i := 0; i < s.n; i++ {
 		if i == skip {
 			continue
 		}
-		g = s.convolveStation(i, g)
+		var cShift int
+		g, cShift = s.convolveStation(i, g)
+		shift += cShift
+		exp, err := rescalePow2(g)
+		if err != nil {
+			return nil, 0, fmt.Errorf("after station %d: %w", i, err)
+		}
+		shift += exp
 	}
-	return g
+	return g, shift, nil
 }
 
 func (s *solver) solve() (*Solution, error) {
-	g := s.convolveAllExcept(-1)
+	g, gShift, err := s.convolveAllExcept(-1)
+	if err != nil {
+		return nil, err
+	}
 	topIdx := numeric.LatticeIndex(s.h, s.h)
 	gH := g[topIdx]
 	if gH <= 0 || math.IsNaN(gH) || math.IsInf(gH, 0) {
-		return nil, fmt.Errorf("convolution: degenerate normalisation constant %v", gH)
+		return nil, fmt.Errorf("%w: degenerate normalisation constant %v (shift 2^%d)", ErrUnstable, gH, gShift)
 	}
 	sol := &Solution{
 		G:           gH,
+		GShift:      gShift,
 		Throughput:  numeric.NewVector(s.w),
 		QueueLen:    numeric.NewMatrix(s.n, s.w),
 		Utilization: numeric.NewVector(s.n),
@@ -270,23 +415,34 @@ func (s *solver) solve() (*Solution, error) {
 		default:
 			// Queue-dependent: use the marginal distribution over the
 			// per-chain occupancy vector at station i.
-			s.queueDependentQueueLens(i, sol, gH)
+			if err := s.queueDependentQueueLens(i, sol, gH, gShift); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Marginal distribution of the total count at each station, via
 	// g_(i-) and the station's capacity coefficients:
 	// P(station i holds vector j) = c_i(j) g_(i-)(H - j) / g(H).
 	for i := 0; i < s.n; i++ {
-		s.marginals(i, sol, gH)
+		if err := s.marginals(i, sol, gH, gShift); err != nil {
+			return nil, err
+		}
 	}
 	return sol, nil
 }
 
 // queueDependentQueueLens fills QueueLen for queue-dependent station i
-// from the per-vector marginal probabilities.
-func (s *solver) queueDependentQueueLens(i int, sol *Solution, gH float64) {
-	gMinus := s.convolveAllExcept(i)
-	c := s.capacityCoefficients(i)
+// from the per-vector marginal probabilities. relShift reconciles the
+// power-of-two scales of the three factor arrays (zero unless some array
+// was rescaled); the probabilities themselves are order-1, so the Ldexp
+// always lands back in range.
+func (s *solver) queueDependentQueueLens(i int, sol *Solution, gH float64, gShift int) error {
+	gMinus, mShift, err := s.convolveAllExcept(i)
+	if err != nil {
+		return err
+	}
+	c, cShift := s.capacityCoefficients(i)
+	relShift := mShift + cShift - gShift
 	numeric.LatticeWalk(s.h, func(j numeric.IntVector) {
 		jIdx := numeric.LatticeIndex(j, s.h)
 		if c[jIdx] == 0 {
@@ -296,19 +452,24 @@ func (s *solver) queueDependentQueueLens(i int, sol *Solution, gH float64) {
 		for w := 0; w < s.w; w++ {
 			compIdx = compIdx*(s.h[w]+1) + (s.h[w] - j[w])
 		}
-		p := c[jIdx] * gMinus[compIdx] / gH
+		p := math.Ldexp(c[jIdx]*gMinus[compIdx]/gH, relShift)
 		for w := 0; w < s.w; w++ {
 			if j[w] > 0 {
 				sol.QueueLen.Set(i, w, sol.QueueLen.At(i, w)+float64(j[w])*p)
 			}
 		}
 	})
+	return nil
 }
 
 // marginals fills Marginal[i] and Utilization[i].
-func (s *solver) marginals(i int, sol *Solution, gH float64) {
-	gMinus := s.convolveAllExcept(i)
-	c := s.capacityCoefficients(i)
+func (s *solver) marginals(i int, sol *Solution, gH float64, gShift int) error {
+	gMinus, mShift, err := s.convolveAllExcept(i)
+	if err != nil {
+		return err
+	}
+	c, cShift := s.capacityCoefficients(i)
+	relShift := mShift + cShift - gShift
 	total := s.h.Sum()
 	marg := make([]float64, total+1)
 	numeric.LatticeWalk(s.h, func(j numeric.IntVector) {
@@ -322,7 +483,7 @@ func (s *solver) marginals(i int, sol *Solution, gH float64) {
 			compIdx = compIdx*(s.h[w]+1) + (s.h[w] - j[w])
 			k += j[w]
 		}
-		marg[k] += c[jIdx] * gMinus[compIdx] / gH
+		marg[k] += math.Ldexp(c[jIdx]*gMinus[compIdx]/gH, relShift)
 	})
 	sol.Marginal[i] = marg
 	if s.net.Stations[i].Kind == qnet.IS {
@@ -334,4 +495,5 @@ func (s *solver) marginals(i int, sol *Solution, gH float64) {
 	} else {
 		sol.Utilization[i] = 1 - marg[0]
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package convolution
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -225,5 +226,81 @@ func TestSolveScalingInvariance(t *testing.T) {
 	}
 	if math.Abs(conv.Throughput[0]-exact.Throughput[0]) > 1e-12*(1+exact.Throughput[0]) {
 		t.Errorf("large-demand lambda %v vs mva %v", conv.Throughput[0], exact.Throughput[0])
+	}
+}
+
+// TestSolveLargePopulationStable: before the stability guard, any lattice
+// with total population > 170 produced NaN through the factorial tables of
+// eq. 3.27 (when an IS or queue-dependent station is present) and the
+// solver failed with "degenerate normalisation constant". The log2-space
+// capacity coefficients plus the power-of-two rescaling extend the
+// reachable range; the exact MVA recursion — stable by construction — is
+// the oracle.
+func TestSolveLargePopulationStable(t *testing.T) {
+	const pop = 200
+	n := cyclic2(pop, 2.0, 0.05) // IS think stage + fast queue
+	n.Stations[0].Kind = qnet.IS
+	sol, err := Solve(n)
+	if err != nil {
+		t.Fatalf("Solve at population %d: %v", pop, err)
+	}
+	curve, err := mva.ExactSingleChain(
+		numeric.Vector{1, 1}, numeric.Vector{2.0, 0.05}, []bool{true, false}, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLam := curve.Throughput[pop-1]
+	if math.Abs(sol.Throughput[0]-wantLam) > 1e-9*wantLam {
+		t.Errorf("lambda = %v, exact MVA %v", sol.Throughput[0], wantLam)
+	}
+	wantQ := curve.QueueLen[pop-1]
+	for i := 0; i < 2; i++ {
+		if math.Abs(sol.QueueLen.At(i, 0)-wantQ[i]) > 1e-6*(1+wantQ[i]) {
+			t.Errorf("station %d queue = %v, exact MVA %v", i, sol.QueueLen.At(i, 0), wantQ[i])
+		}
+	}
+	// Marginals must still be a distribution.
+	for i := range sol.Marginal {
+		sum := 0.0
+		for _, p := range sol.Marginal[i] {
+			if p < -1e-12 {
+				t.Fatalf("station %d: negative marginal %v", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("station %d: marginal mass %v", i, sum)
+		}
+	}
+}
+
+// TestSolveUnstableTyped: a computation that leaves the float64 range even
+// after rescaling reports ErrUnstable rather than a silent NaN or a
+// generic error string.
+func TestSolveUnstableTyped(t *testing.T) {
+	if _, err := rescalePow2([]float64{1, math.Inf(1)}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("overflowed array: err = %v, want ErrUnstable", err)
+	}
+	if _, err := rescalePow2([]float64{0, 0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("all-zero array: err = %v, want ErrUnstable", err)
+	}
+	if _, err := rescalePow2([]float64{1, math.NaN()}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("NaN array: err = %v, want ErrUnstable", err)
+	}
+	// In range: no shift, values untouched.
+	g := []float64{0.5, -2}
+	shift, err := rescalePow2(g)
+	if err != nil || shift != 0 || g[0] != 0.5 || g[1] != -2 {
+		t.Errorf("in-range array modified: shift=%d err=%v g=%v", shift, err, g)
+	}
+	// Far out of range: exact power-of-two normalisation.
+	big := math.Ldexp(1, 600)
+	g = []float64{big, big / 4}
+	shift, err = rescalePow2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Ldexp(g[0], shift) != big || math.Ldexp(g[1], shift) != big/4 {
+		t.Errorf("rescale not exact: shift=%d g=%v", shift, g)
 	}
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// DegradedScenario records one scenario excluded from a DimensionRobust
+// run: which it was and why. Degraded scenarios stop contributing to the
+// robust objective and to the final per-scenario report.
+type DegradedScenario struct {
+	Index  int    `json:"index"`
+	Name   string `json:"name"`
+	Reason string `json:"reason"`
+}
+
+// scenarioHealth tracks which scenarios of a DimensionRobust run are still
+// active, enforcing the minimum-scenario quorum: robustness claims are
+// only as strong as the scenario set actually evaluated, so the run
+// degrades scenario by scenario — never silently below the quorum.
+//
+// Reads (isActive) happen on the objective hot path, concurrently under
+// speculative search; writes happen on evaluation failures only.
+type scenarioHealth struct {
+	mu           sync.RWMutex
+	names        []string
+	active       []bool
+	strikes      []int
+	reasons      []string
+	nActive      int
+	quorum       int
+	degradeAfter int
+}
+
+func newScenarioHealth(names []string, quorum, degradeAfter int) *scenarioHealth {
+	if quorum <= 0 {
+		quorum = 1
+	}
+	h := &scenarioHealth{
+		names:        names,
+		active:       make([]bool, len(names)),
+		strikes:      make([]int, len(names)),
+		reasons:      make([]string, len(names)),
+		nActive:      len(names),
+		quorum:       quorum,
+		degradeAfter: degradeAfter,
+	}
+	for i := range h.active {
+		h.active[i] = true
+	}
+	return h
+}
+
+func (h *scenarioHealth) isActive(i int) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.active[i]
+}
+
+// degrade excludes scenario i, recording the reason. It fails — leaving
+// the scenario active — when exclusion would drop the active count below
+// the quorum; the caller must then surface the underlying failure instead
+// of continuing with a hollowed-out scenario set.
+func (h *scenarioHealth) degrade(i int, reason string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degradeLocked(i, reason)
+}
+
+func (h *scenarioHealth) degradeLocked(i int, reason string) error {
+	if !h.active[i] {
+		return nil
+	}
+	if h.nActive-1 < h.quorum {
+		return fmt.Errorf("core: scenario %q failed (%s) and degrading it would leave %d active scenarios, below the quorum of %d",
+			h.names[i], reason, h.nActive-1, h.quorum)
+	}
+	h.active[i] = false
+	h.reasons[i] = reason
+	h.nActive--
+	return nil
+}
+
+// strike counts one post-fallback convergence failure against scenario i
+// and degrades it once Options.DegradeAfter strikes accumulate. No-op when
+// strike counting is disabled.
+func (h *scenarioHealth) strike(i int, reason string) error {
+	if h.degradeAfter <= 0 {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.active[i] {
+		return nil
+	}
+	h.strikes[i]++
+	if h.strikes[i] < h.degradeAfter {
+		return nil
+	}
+	return h.degradeLocked(i, fmt.Sprintf("%d non-converged candidates, last: %s", h.strikes[i], reason))
+}
+
+// degraded lists the excluded scenarios in index order.
+func (h *scenarioHealth) degraded() []DegradedScenario {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []DegradedScenario
+	for i := range h.active {
+		if !h.active[i] {
+			out = append(out, DegradedScenario{Index: i, Name: h.names[i], Reason: h.reasons[i]})
+		}
+	}
+	return out
+}
+
+// robustAux is the scenario-health state a robust run stores in its
+// checkpoints' Aux field, so a resumed run does not re-fight battles
+// already lost (or re-count strikes already struck).
+type robustAux struct {
+	Active  []bool   `json:"active"`
+	Strikes []int    `json:"strikes,omitempty"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// snapshotAux serialises the health state for a checkpoint. Called at
+// commit points only (the pattern searcher's snapshot contract).
+func (h *scenarioHealth) snapshotAux() json.RawMessage {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	data, err := json.Marshal(robustAux{
+		Active:  append([]bool(nil), h.active...),
+		Strikes: append([]int(nil), h.strikes...),
+		Reasons: append([]string(nil), h.reasons...),
+	})
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// restoreAux loads the health state from a resumed checkpoint. Empty data
+// (a checkpoint from a non-robust run, or one written before any commit)
+// leaves everything active.
+func (h *scenarioHealth) restoreAux(data json.RawMessage) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var aux robustAux
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return fmt.Errorf("core: checkpoint scenario state: %w", err)
+	}
+	if len(aux.Active) != len(h.active) {
+		return fmt.Errorf("core: checkpoint records %d scenarios; this run has %d", len(aux.Active), len(h.active))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nActive = 0
+	for i, a := range aux.Active {
+		h.active[i] = a
+		if a {
+			h.nActive++
+		}
+	}
+	if len(aux.Strikes) == len(h.strikes) {
+		copy(h.strikes, aux.Strikes)
+	}
+	if len(aux.Reasons) == len(h.reasons) {
+		copy(h.reasons, aux.Reasons)
+	}
+	if h.nActive < h.quorum {
+		return fmt.Errorf("core: checkpoint has %d active scenarios, below the quorum of %d", h.nActive, h.quorum)
+	}
+	return nil
+}

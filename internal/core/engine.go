@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mva"
 	"repro/internal/netmodel"
@@ -40,8 +41,11 @@ type Engine struct {
 	excluded [][]int
 	useWarm  bool
 	useChain bool // resilient fallback chain on ErrNotConverged
-	warm     atomic.Pointer[mva.WarmStart]
-	pool     sync.Pool
+	// dog, when non-nil, bounds each candidate solve by a deadline derived
+	// from the rolling cost of recent candidates (Options.EvalTimeout).
+	dog  *watchdog
+	warm atomic.Pointer[mva.WarmStart]
+	pool sync.Pool
 	// tiers counts successful evaluations per fallback tier (see
 	// FallbackTier). Atomic: Evaluate/ObjectiveValue run concurrently.
 	tiers [NumFallbackTiers]atomic.Int64
@@ -94,6 +98,11 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		// back from.
 		useChain: opts.Evaluator != EvalExactMVA && !opts.DisableFallback,
 	}
+	if opts.Evaluator != EvalExactMVA {
+		// Iteration-free exact evaluations cannot stall; the watchdog only
+		// guards the fixed-point solvers.
+		e.dog = newWatchdog(opts.EvalTimeout)
+	}
 	e.pool.New = func() any {
 		st := &evalState{
 			model: qnet.Network{
@@ -129,6 +138,11 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 	if e.useWarm {
 		warm = e.warm.Load()
 	}
+	var began time.Time
+	if e.dog != nil {
+		began = time.Now()
+	}
+	budget := e.sweepBudget()
 	var sol *mva.Solution
 	var err error
 	switch e.opts.Evaluator {
@@ -140,11 +154,13 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
+		mo.SweepBudget = budget
 		sol, err = mva.Approximate(&st.model, mo)
 	case EvalLinearizerMVA:
 		mo := e.opts.MVA
 		mo.Prevalidated = true
 		mo.Warm = warm
+		mo.SweepBudget = budget
 		sol, err = mva.Linearizer(&st.model, mo)
 	default:
 		mo := e.opts.MVA
@@ -152,13 +168,39 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
+		mo.SweepBudget = budget
 		sol, err = mva.Approximate(&st.model, mo)
+	}
+	if err == nil && e.dog != nil {
+		e.dog.observe(time.Since(began))
 	}
 	if err != nil && e.useChain && errors.Is(err, mva.ErrNotConverged) {
 		return e.solveFallback(st, warm, err)
 	}
 	return sol, TierPrimary, err
 }
+
+// sweepBudget returns a fresh per-solve watchdog budget for the mva
+// solvers, or nil when the watchdog is disabled. The trip counter
+// increments at most once per solve: the solver aborts on the first false.
+func (e *Engine) sweepBudget() func(int) bool {
+	if e.dog == nil {
+		return nil
+	}
+	b := e.dog.budget()
+	dog := e.dog
+	return func(sweeps int) bool {
+		if b(sweeps) {
+			return true
+		}
+		dog.trips.Add(1)
+		return false
+	}
+}
+
+// WatchdogTrips reports how many candidate solves the per-candidate
+// watchdog (Options.EvalTimeout) cut short into the fallback chain.
+func (e *Engine) WatchdogTrips() int64 { return e.dog.Trips() }
 
 // solveCounted is solve plus the per-tier bookkeeping shared by the
 // public evaluation entry points.

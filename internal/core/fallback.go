@@ -94,6 +94,10 @@ func (e *Engine) solveFallback(st *evalState, warm *mva.WarmStart, primaryErr er
 	mo := e.opts.MVA
 	mo.Prevalidated = true
 	mo.Warm = warm
+	// Each tier gets a fresh watchdog allowance: the chain exists to rescue
+	// candidates the primary budget gave up on, so tiers must not inherit
+	// its already-exhausted deadline.
+	mo.SweepBudget = e.sweepBudget()
 	if mo.Damping <= 0 || mo.Damping > 1 {
 		mo.Damping = 1
 	}
@@ -126,6 +130,7 @@ func (e *Engine) solveFallback(st *evalState, warm *mva.WarmStart, primaryErr er
 	// Tier 2: a different iteration map. Linearizer for the σ/Schweitzer
 	// primaries; a damped Schweitzer core when the primary already is the
 	// Linearizer.
+	mo.SweepBudget = e.sweepBudget()
 	if e.opts.Evaluator == EvalLinearizerMVA {
 		mo.Method = mva.Schweitzer
 		mo.Workspace = st.ws

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/topo"
+)
+
+// FuzzParseScenarios checks the scenario-set parser never panics and that
+// every set it accepts applies cleanly to the network it was resolved
+// against.
+func FuzzParseScenarios(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"scenarios": []}`))
+	f.Add([]byte(`{"scenarios": [{"name": "nominal"}]}`))
+	f.Add([]byte(`{"scenarios": [{"name": "cut", "capacity_scale": {"WT": 0.5}, "weight": 2}]}`))
+	f.Add([]byte(`{"scenarios": [{"rate_scale": {"class1": 1.5}}]}`))
+	f.Add([]byte(`{"scenarios": [{"capacity_scale": {"WT": 0}}]}`))
+	f.Add([]byte(`{"scenarios": [{"capacity_scale": {"nope": 0.5}}]}`))
+	f.Add([]byte(`{"scenarios": [{"weight": -1}]}`))
+	n := topo.Canada2Class(20, 20)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scenarios, err := ParseScenarios(data, n)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(scenarios) == 0 {
+			t.Fatal("ParseScenarios accepted an empty set")
+		}
+		for _, sc := range scenarios {
+			if sc.Name == "" {
+				t.Fatal("accepted scenario without a name")
+			}
+			if _, err := sc.Apply(n); err != nil {
+				t.Fatalf("accepted scenario %q does not apply: %v", sc.Name, err)
+			}
+		}
+	})
+}
+
+// FuzzParseCheckpoint checks the checkpoint loader never panics and that
+// every checkpoint it accepts survives a marshal/parse round trip.
+func FuzzParseCheckpoint(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"version": 1, "kind": "pattern-search", "dim": 2, "start": [1, 1], "best": [2, 3], "best_value": "-Inf", "step": [1, 1], "visited": {"2,3": 5.5}}`))
+	f.Add([]byte(`{"version": 2, "kind": "pattern-search", "dim": 2, "start": [1, 1], "best": [1, 1], "step": [1, 1]}`))
+	f.Add([]byte(`{"version": 1, "kind": "pattern-search", "dim": 2, "start": [1], "best": [1, 1], "step": [1, 1]}`))
+	f.Add([]byte(`{"version": 1, "kind": "pattern-search", "dim": 1, "start": [1], "best": [1], "step": [1], "visited": {"bogus key": 1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := pattern.ParseCheckpoint(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		out, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not marshal: %v", err)
+		}
+		back, err := pattern.ParseCheckpoint(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Visited) != len(ck.Visited) || back.Dim != ck.Dim {
+			t.Fatalf("round trip changed checkpoint: %d/%d visited, dim %d/%d",
+				len(back.Visited), len(ck.Visited), back.Dim, ck.Dim)
+		}
+	})
+}

@@ -64,6 +64,15 @@ type RobustResult struct {
 	// Fallbacks sums, across the per-scenario engines, how many
 	// evaluations each resilient-chain tier answered.
 	Fallbacks FallbackCounts
+	// Degraded lists scenarios excluded during the run (terminal
+	// evaluation errors, or Options.DegradeAfter strike-outs); their
+	// ScenarioPower entries are NaN and PerScenario entries nil. The
+	// remaining WorstPower/WeightedPower are computed over the active
+	// scenarios only.
+	Degraded []DegradedScenario
+	// WatchdogTrips sums, across the per-scenario engines, the candidate
+	// solves the per-candidate watchdog cut short.
+	WatchdogTrips int64
 }
 
 // robustWeights returns the normalised scenario weights (<= 0 means 1).
@@ -121,9 +130,13 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 	if opts.Context != nil {
 		opts.MVA.Context = opts.Context
 	}
+	if opts.MinScenarios > len(scenarios) {
+		return nil, fmt.Errorf("core: quorum of %d exceeds the %d scenarios given", opts.MinScenarios, len(scenarios))
+	}
 	weights := robustWeights(scenarios)
 	perturbed := make([]*netmodel.Network, len(scenarios))
 	engines := make([]*Engine, len(scenarios))
+	names := make([]string, len(scenarios))
 	for i := range scenarios {
 		p, err := scenarios[i].Apply(n)
 		if err != nil {
@@ -135,6 +148,20 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 		}
 		perturbed[i] = p
 		engines[i] = eng
+		names[i] = scenarios[i].Name
+	}
+	health := newScenarioHealth(names, opts.MinScenarios, opts.DegradeAfter)
+	ckptOpts, resume, err := searchCheckpointing(n, opts, scenarios, kind.String())
+	if err != nil {
+		return nil, err
+	}
+	if ckptOpts != nil {
+		ckptOpts.Aux = health.snapshotAux
+	}
+	if resume != nil {
+		if err := health.restoreAux(resume.Aux); err != nil {
+			return nil, err
+		}
 	}
 
 	nCls := len(n.Classes)
@@ -151,20 +178,45 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 
 	var nonConverged atomic.Int64
 	// objective returns the value the search minimises: the largest
-	// per-scenario 1/power for minimax, or 1 over the weighted mean
-	// power. Both are pure functions of (committed warm seeds,
-	// candidate), so the speculative search stays deterministic.
+	// per-scenario 1/power for minimax, or 1 over the weighted mean power
+	// — both over the ACTIVE scenarios, with weights renormalised as
+	// scenarios degrade. While every scenario stays healthy the value is a
+	// pure function of (committed warm seeds, candidate), so the
+	// speculative search stays deterministic; a degradation event changes
+	// the objective for all later candidates, which is the documented
+	// price of continuing past a dead scenario.
 	objective := func(x numeric.IntVector) (float64, error) {
 		worst := 0.0
 		weightedP := 0.0
+		totalW := 0.0
+		evaluated := 0
 		for i, eng := range engines {
+			if !health.isActive(i) {
+				continue
+			}
 			v, err := eng.ObjectiveValue(x, opts.Objective)
 			if err != nil {
 				if errors.Is(err, mva.ErrNotConverged) {
 					nonConverged.Add(1)
+					// The candidate is infeasible as before; repeated
+					// failures can additionally retire the scenario itself
+					// (opt-in via DegradeAfter).
+					if derr := health.strike(i, err.Error()); derr != nil {
+						return 0, derr
+					}
 					return math.Inf(1), nil
 				}
-				return 0, err
+				if opts.Context != nil && opts.Context.Err() != nil {
+					// Cancellation is never a scenario's fault.
+					return 0, err
+				}
+				// A terminal failure confined to one scenario: exclude the
+				// scenario (quorum permitting) and keep dimensioning on
+				// the rest, rather than abort the whole run.
+				if derr := health.degrade(i, err.Error()); derr != nil {
+					return 0, derr
+				}
+				continue
 			}
 			if math.IsInf(v, 1) {
 				return math.Inf(1), nil
@@ -173,15 +225,21 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 				worst = v
 			}
 			weightedP += weights[i] / v
+			totalW += weights[i]
+			evaluated++
+		}
+		if evaluated == 0 {
+			// Unreachable while the quorum holds; defensive for quorum 0
+			// misconfiguration slipping through.
+			return 0, errors.New("core: no active scenario evaluated the candidate")
 		}
 		if kind == RobustMinimax {
 			return worst, nil
 		}
-		return 1 / weightedP, nil
+		return totalW / weightedP, nil
 	}
 
 	var sres *pattern.Result
-	var err error
 	switch opts.Search {
 	case ExhaustiveSearch:
 		sres, err = pattern.ExhaustiveParallelCtx(opts.Context, objective, lo, hi, 0, opts.Workers)
@@ -200,11 +258,22 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 			MaxHalvings: opts.MaxHalvings,
 			Workers:     opts.Workers,
 			Context:     opts.Context,
+			Checkpoint:  ckptOpts,
+			Resume:      resume,
 		}
-		if engines[0].useWarm {
-			popts.OnCommit = func(x numeric.IntVector, _ float64) {
-				for _, eng := range engines {
-					eng.Commit(x)
+		if engines[0].useWarm || opts.onCommit != nil {
+			popts.OnCommit = func(x numeric.IntVector, fx float64) {
+				if engines[0].useWarm {
+					// Degraded engines skip the warm re-seed: they answer no
+					// further evaluations.
+					for i, eng := range engines {
+						if health.isActive(i) {
+							eng.Commit(x)
+						}
+					}
+				}
+				if opts.onCommit != nil {
+					opts.onCommit(x, fx)
 				}
 			}
 		}
@@ -228,21 +297,35 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 		for t := range counts {
 			res.Fallbacks[t] += counts[t]
 		}
+		res.WatchdogTrips += eng.WatchdogTrips()
 	}
-	// Per-scenario metrics at the chosen windows. After a cancellation the
-	// engines carry a dead context, so re-evaluate with a context-free
-	// options copy (as Dimension does for its partial result).
+	// Per-scenario metrics at the chosen windows, over the scenarios that
+	// survived. After a cancellation the engines carry a dead context, so
+	// re-evaluate with a context-free options copy (as Dimension does for
+	// its partial result). A scenario that fails HERE — after the search
+	// accepted the windows — degrades like a mid-search failure: recorded
+	// and excluded, quorum permitting, instead of discarding the run.
 	clean := opts
 	clean.Context = nil
 	clean.MVA.Context = nil
 	res.ScenarioPower = make([]float64, len(scenarios))
 	res.PerScenario = make([]*power.Metrics, len(scenarios))
 	res.WorstPower = math.Inf(1)
+	res.WorstScenario = -1
 	weightedP := 0.0
+	totalW := 0.0
 	for i := range scenarios {
+		if !health.isActive(i) {
+			res.ScenarioPower[i] = math.NaN()
+			continue
+		}
 		m, err := Evaluate(perturbed[i], sres.Best, clean)
 		if err != nil {
-			return nil, fmt.Errorf("core: scenario %q at robust windows: %w", scenarios[i].Name, err)
+			if derr := health.degrade(i, fmt.Sprintf("final evaluation at robust windows: %v", err)); derr != nil {
+				return nil, fmt.Errorf("core: scenario %q at robust windows: %w", scenarios[i].Name, err)
+			}
+			res.ScenarioPower[i] = math.NaN()
+			continue
 		}
 		p := criterionPower(m, opts.Objective)
 		res.PerScenario[i] = m
@@ -252,8 +335,12 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 			res.WorstScenario = i
 		}
 		weightedP += weights[i] * p
+		totalW += weights[i]
 	}
-	res.WeightedPower = weightedP
+	if totalW > 0 {
+		res.WeightedPower = weightedP / totalW
+	}
+	res.Degraded = health.degraded()
 	return res, searchErr
 }
 

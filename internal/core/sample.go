@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+)
+
+// Defaults for SampleOptions zero values.
+const (
+	sampleDefaultMaxDegradation = 0.5
+	sampleDefaultMaxSurge       = 0.5
+	sampleDefaultPerturbProb    = 0.35
+)
+
+// SampleOptions configures SampleScenarios.
+type SampleOptions struct {
+	// Count is the number of raw scenarios drawn (before dominance
+	// pruning); must be >= 1.
+	Count int
+	// Seed drives the deterministic PCG sampling. Scenario i is drawn
+	// from the SubSeed(Seed, i) stream, so scenario k is the same vector
+	// whatever Count is — growing a set keeps its prefix.
+	Seed uint64
+	// MaxDegradation bounds how far a degraded channel's capacity falls:
+	// scales are uniform on [1-MaxDegradation, 1). Must lie in (0, 1);
+	// 0 means 0.5.
+	MaxDegradation float64
+	// MaxSurge bounds class surges: rate scales are uniform on
+	// (1, 1+MaxSurge]. Must be positive; 0 means 0.5.
+	MaxSurge float64
+	// DegradeProb and SurgeProb are the per-channel and per-class
+	// probabilities of being perturbed in a scenario. In [0, 1]; 0 means
+	// 0.35.
+	DegradeProb float64
+	SurgeProb   float64
+	// KeepDominated disables the dominance pruning (see
+	// PruneDominatedScenarios) of the sampled set.
+	KeepDominated bool
+}
+
+func (o SampleOptions) withDefaults() (SampleOptions, error) {
+	if o.Count < 1 {
+		return o, fmt.Errorf("core: sample count %d; need >= 1", o.Count)
+	}
+	if o.MaxDegradation == 0 {
+		o.MaxDegradation = sampleDefaultMaxDegradation
+	}
+	if o.MaxSurge == 0 {
+		o.MaxSurge = sampleDefaultMaxSurge
+	}
+	if o.DegradeProb == 0 {
+		o.DegradeProb = sampleDefaultPerturbProb
+	}
+	if o.SurgeProb == 0 {
+		o.SurgeProb = sampleDefaultPerturbProb
+	}
+	if math.IsNaN(o.MaxDegradation) || o.MaxDegradation <= 0 || o.MaxDegradation >= 1 {
+		return o, fmt.Errorf("core: max degradation %v outside (0, 1)", o.MaxDegradation)
+	}
+	if math.IsNaN(o.MaxSurge) || o.MaxSurge <= 0 || math.IsInf(o.MaxSurge, 0) {
+		return o, fmt.Errorf("core: max surge %v; need a positive finite value", o.MaxSurge)
+	}
+	if math.IsNaN(o.DegradeProb) || o.DegradeProb < 0 || o.DegradeProb > 1 {
+		return o, fmt.Errorf("core: degrade probability %v outside [0, 1]", o.DegradeProb)
+	}
+	if math.IsNaN(o.SurgeProb) || o.SurgeProb < 0 || o.SurgeProb > 1 {
+		return o, fmt.Errorf("core: surge probability %v outside [0, 1]", o.SurgeProb)
+	}
+	return o, nil
+}
+
+// SampleScenarios draws a deterministic random scenario set for the
+// network: each scenario independently degrades each channel's capacity
+// with probability DegradeProb (uniform scale in [1-MaxDegradation, 1))
+// and surges each class's arrival rate with probability SurgeProb
+// (uniform scale in (1, 1+MaxSurge]). All scenarios carry weight 1.
+//
+// Unless KeepDominated is set, scenarios that are pointwise no harsher
+// than another sampled scenario are pruned (see
+// PruneDominatedScenarios): for the minimax criterion only the stress
+// frontier can decide the optimum, so the pruned set dimensions the same
+// windows at a fraction of the per-candidate cost.
+func SampleScenarios(n *netmodel.Network, opts SampleOptions) ([]Scenario, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	scenarios := make([]Scenario, 0, opts.Count)
+	for i := 0; i < opts.Count; i++ {
+		st := rng.New(rng.SubSeed(opts.Seed, uint64(i)))
+		sc := Scenario{
+			Name:          fmt.Sprintf("sample-%d", i),
+			CapacityScale: ones(len(n.Channels)),
+			RateScale:     ones(len(n.Classes)),
+			Weight:        1,
+		}
+		for l := range sc.CapacityScale {
+			if st.Float64() < opts.DegradeProb {
+				sc.CapacityScale[l] = 1 - opts.MaxDegradation*st.Float64()
+			}
+		}
+		for r := range sc.RateScale {
+			if st.Float64() < opts.SurgeProb {
+				sc.RateScale[r] = 1 + opts.MaxSurge*st.Float64()
+			}
+		}
+		if err := sc.validate(n); err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, sc)
+	}
+	if opts.KeepDominated {
+		return scenarios, nil
+	}
+	return PruneDominatedScenarios(n, scenarios)
+}
+
+// PruneDominatedScenarios removes every scenario that another scenario in
+// the set dominates. Scenario A dominates B when A is pointwise at least
+// as stressful — capacity scales no larger on every channel AND rate
+// scales no smaller on every class; under the monotone assumption that
+// less capacity and more offered load never raise power, B's constraint
+// is then implied by A's, so the minimax optimum over the pruned set
+// equals the one over the full set. Exact duplicates keep their first
+// occurrence. The heuristic targets RobustMinimax; a RobustWeighted run
+// should keep the full set (every weight contributes to the mean).
+func PruneDominatedScenarios(n *netmodel.Network, scenarios []Scenario) ([]Scenario, error) {
+	caps := make([][]float64, len(scenarios))
+	rates := make([][]float64, len(scenarios))
+	for i := range scenarios {
+		if err := scenarios[i].validate(n); err != nil {
+			return nil, err
+		}
+		caps[i] = scenarios[i].CapacityScale
+		if caps[i] == nil {
+			caps[i] = ones(len(n.Channels))
+		}
+		rates[i] = scenarios[i].RateScale
+		if rates[i] == nil {
+			rates[i] = ones(len(n.Classes))
+		}
+	}
+	// dominates reports whether scenario a is pointwise at least as
+	// stressful as b.
+	dominates := func(a, b int) bool {
+		for l := range caps[a] {
+			if caps[a][l] > caps[b][l] {
+				return false
+			}
+		}
+		for r := range rates[a] {
+			if rates[a][r] < rates[b][r] {
+				return false
+			}
+		}
+		return true
+	}
+	kept := make([]Scenario, 0, len(scenarios))
+	for i := range scenarios {
+		dominated := false
+		for j := range scenarios {
+			if i == j {
+				continue
+			}
+			if !dominates(j, i) {
+				continue
+			}
+			// Mutual dominance = identical stress vectors: keep the
+			// earlier one.
+			if dominates(i, j) && i < j {
+				continue
+			}
+			dominated = true
+			break
+		}
+		if !dominated {
+			kept = append(kept, scenarios[i])
+		}
+	}
+	return kept, nil
+}

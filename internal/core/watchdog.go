@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Per-candidate watchdog tuning.
+const (
+	// watchdogFactor scales the rolling mean solve time into the
+	// per-candidate allowance: a candidate may take this many times the
+	// recent average before the watchdog calls its fixed point stalled.
+	// Generous on purpose — legitimate candidates near saturation need
+	// several times the typical sweep count, and a premature trip only
+	// costs a fallback-tier solve, not correctness.
+	watchdogFactor = 8
+	// watchdogAlpha is the EWMA weight of the newest observation in the
+	// rolling cost estimate.
+	watchdogAlpha = 0.2
+)
+
+// watchdog converts overlong candidate evaluations into convergence
+// failures. Each solve gets a deadline of max(floor, watchdogFactor ×
+// rolling mean of recent successful solve times); the deadline is polled
+// through mva.Options.SweepBudget, so a trip surfaces as ErrNotConverged
+// and flows into the resilient fallback chain (each tier gets a fresh
+// allowance) instead of hanging the search.
+//
+// A tripped watchdog trades bit-reproducibility for liveness: whether a
+// slow-but-convergent candidate is answered by the primary solver or a
+// fallback tier now depends on wall-clock speed. The tiers agree within
+// the solver tolerance wherever both converge, but runs on differently
+// loaded machines may no longer be bit-identical — which is why the
+// watchdog is off by default and enabled explicitly (Options.EvalTimeout).
+type watchdog struct {
+	floor time.Duration
+	// meanNs is the EWMA of successful solve durations in nanoseconds,
+	// stored as float64 bits. Zero means no observation yet.
+	meanNs atomic.Uint64
+	trips  atomic.Int64
+}
+
+func newWatchdog(floor time.Duration) *watchdog {
+	if floor <= 0 {
+		return nil
+	}
+	return &watchdog{floor: floor}
+}
+
+// allowance returns the current per-solve deadline budget.
+func (w *watchdog) allowance() time.Duration {
+	m := math.Float64frombits(w.meanNs.Load())
+	a := time.Duration(watchdogFactor * m)
+	if a < w.floor {
+		return w.floor
+	}
+	return a
+}
+
+// observe folds a successful solve's duration into the rolling estimate.
+func (w *watchdog) observe(d time.Duration) {
+	nd := float64(d.Nanoseconds())
+	for {
+		old := w.meanNs.Load()
+		m := math.Float64frombits(old)
+		if m == 0 {
+			m = nd
+		} else {
+			m = watchdogAlpha*nd + (1-watchdogAlpha)*m
+		}
+		if w.meanNs.CompareAndSwap(old, math.Float64bits(m)) {
+			return
+		}
+	}
+}
+
+// budget returns a fresh mva.Options.SweepBudget closure holding one
+// solve's deadline. Safe under concurrent solves: each caller gets its own
+// deadline.
+func (w *watchdog) budget() func(int) bool {
+	if w == nil {
+		return nil
+	}
+	deadline := time.Now().Add(w.allowance())
+	return func(int) bool { return time.Now().Before(deadline) }
+}
+
+// Trips reports how many solves the watchdog has cut short.
+func (w *watchdog) Trips() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.trips.Load()
+}

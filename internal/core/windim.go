@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mva"
 	"repro/internal/netmodel"
@@ -175,6 +176,33 @@ type Options struct {
 	// non-nil error wrapping ctx.Err() — callers wanting partial answers
 	// must check the Result before the error.
 	Context context.Context
+	// EvalTimeout arms the per-candidate watchdog: each candidate solve
+	// gets a wall-clock allowance of max(EvalTimeout, 8× the rolling mean
+	// of recent solve times); a solve that exceeds it is abandoned as
+	// mva.ErrNotConverged and flows into the fallback chain (each tier
+	// with a fresh allowance), so one pathological fixed point cannot
+	// stall the whole run. Trips are reported in Result.WatchdogTrips.
+	// Wall-clock deadlines trade bit-reproducibility across machines for
+	// liveness, so the watchdog is off by default (<= 0). Ignored by the
+	// iteration-free exact evaluator.
+	EvalTimeout time.Duration
+	// CheckpointPath, when non-empty, makes the pattern search durable:
+	// its state (memo cache, best point, step, per-scenario progress for
+	// DimensionRobust) is written atomically to this file every
+	// CheckpointEvery commits (<= 0: every commit) and at termination or
+	// cancellation. Only PatternSearch supports checkpoints.
+	CheckpointPath string
+	// CheckpointEvery is the commit cadence of checkpoint writes.
+	CheckpointEvery int
+	// ResumePath, when non-empty, resumes from a checkpoint written by a
+	// previous run of the SAME model and options: the memo cache is
+	// preloaded and the search replays its trajectory out of it (warm
+	// starts recommitted along the way), converging to a result
+	// bit-identical to an uninterrupted run at any worker count. A hash
+	// of the network and options is verified before any cached value is
+	// used; a mismatch is an error. A missing file is also an error —
+	// "resume" silently starting fresh would mask typos.
+	ResumePath string
 	// BufferLimits, when non-nil, constrains the search to window
 	// vectors that cannot overflow the given per-node storage limits
 	// even in the worst case: for every node i with limit K_i > 0, the
@@ -187,6 +215,26 @@ type Options struct {
 	// MVA carries tolerance/iteration settings for the approximate
 	// evaluators (Method is overridden by Evaluator).
 	MVA mva.Options
+	// DegradeAfter enables strike-based scenario degradation in
+	// DimensionRobust: a scenario whose evaluation fails to converge (even
+	// after the fallback chain) on this many distinct candidates is
+	// excluded from the rest of the run — with its reason recorded in
+	// RobustResult.Degraded — instead of vetoing every candidate it
+	// touches. 0 (the default) disables strike counting; under Workers > 1
+	// the strike order can depend on speculative probe scheduling, so
+	// enabling it may cost bit-reproducibility. Terminal (non-convergence)
+	// evaluation errors degrade a scenario immediately regardless.
+	DegradeAfter int
+	// MinScenarios is the quorum DimensionRobust must retain: a
+	// degradation that would leave fewer active scenarios aborts the run
+	// instead of silently optimising against a hollowed-out set. <= 0
+	// means 1.
+	MinScenarios int
+
+	// onCommit, when non-nil, runs after every committed base point of the
+	// pattern search (after warm-seed promotion). Test hook: lets the
+	// checkpoint tests cancel a run after exactly K commits.
+	onCommit func(x numeric.IntVector, fx float64)
 }
 
 // Result is the outcome of a WINDIM run.
@@ -209,6 +257,9 @@ type Result struct {
 	// the ordinary converging majority). Like NonConverged, speculative
 	// probes are included.
 	Fallbacks FallbackCounts
+	// WatchdogTrips counts candidate solves the per-candidate watchdog
+	// (Options.EvalTimeout) cut short into the fallback chain.
+	WatchdogTrips int64
 }
 
 // Evaluate solves the closed-chain model of the network at the given
@@ -317,6 +368,11 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 		return v, nil
 	}
 
+	ckptOpts, resume, err := searchCheckpointing(n, opts, nil, "")
+	if err != nil {
+		return nil, err
+	}
+
 	var sres *pattern.Result
 	switch opts.Search {
 	case ExhaustiveSearch:
@@ -348,9 +404,18 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			MaxHalvings: opts.MaxHalvings,
 			Workers:     opts.Workers,
 			Context:     opts.Context,
+			Checkpoint:  ckptOpts,
+			Resume:      resume,
 		}
-		if eng.useWarm {
-			popts.OnCommit = func(x numeric.IntVector, _ float64) { eng.Commit(x) }
+		if eng.useWarm || opts.onCommit != nil {
+			popts.OnCommit = func(x numeric.IntVector, fx float64) {
+				if eng.useWarm {
+					eng.Commit(x)
+				}
+				if opts.onCommit != nil {
+					opts.onCommit(x, fx)
+				}
+			}
 		}
 		sres, err = pattern.Search(objective, start, popts)
 	}
@@ -383,6 +448,7 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	res.Search = sres
 	res.NonConverged = int(nonConverged.Load())
 	res.Fallbacks = eng.FallbackCounts()
+	res.WatchdogTrips = eng.WatchdogTrips()
 	return res, searchErr
 }
 

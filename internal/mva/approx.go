@@ -99,20 +99,36 @@ type Options struct {
 	// stuck or slow iteration can be abandoned from outside: the solver
 	// returns an error wrapping ctx.Err(). nil means never cancelled.
 	Context context.Context
+	// SweepBudget, when non-nil, is polled between sweeps on the same
+	// cadence as Context; returning false abandons the fixed point with an
+	// error wrapping ErrNotConverged — unlike a Context cancellation, which
+	// is terminal. This is the hook core's per-candidate watchdog uses: an
+	// overlong iteration is reported as a convergence failure, so the
+	// resilient fallback chain can rescue the candidate instead of the
+	// whole search dying with it. The sweep count at the poll is passed for
+	// diagnostics. nil means unbounded (MaxIter still applies).
+	SweepBudget func(sweeps int) bool
 }
 
-// sweepCancelled polls ctx on the first sweep (so a solve never starts
-// against an already-dead context) and every ctxPollInterval sweeps after
-// that — a per-sweep check would put a branch and an atomic load in the
-// hot loop for no benefit; sweeps are microseconds.
+// sweepGate polls ctx and the sweep budget on the first sweep (so a solve
+// never starts against an already-dead context or an exhausted budget) and
+// every ctxPollInterval sweeps after that — a per-sweep check would put a
+// branch and an atomic load in the hot loop for no benefit; sweeps are
+// microseconds.
 const ctxPollInterval = 128
 
-func sweepCancelled(ctx context.Context, iter int) error {
-	if ctx == nil || (iter != 1 && iter%ctxPollInterval != 0) {
+func sweepGate(opts *Options, iter int) error {
+	if iter != 1 && iter%ctxPollInterval != 0 {
 		return nil
 	}
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("mva: solve cancelled after %d sweeps: %w", iter, err)
+	if ctx := opts.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mva: solve cancelled after %d sweeps: %w", iter, err)
+		}
+	}
+	if opts.SweepBudget != nil && !opts.SweepBudget(iter) {
+		return fmt.Errorf("%w: sweep budget exhausted after %d sweeps (method %v)",
+			ErrNotConverged, iter, opts.Method)
 	}
 	return nil
 }
@@ -195,7 +211,7 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 
 	t, sigma := ws.t, ws.sigma
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		if err := sweepCancelled(opts.Context, iter); err != nil {
+		if err := sweepGate(&opts, iter); err != nil {
 			return nil, err
 		}
 		// STEP 2: arrival-instant correction.

@@ -157,7 +157,7 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 		}
 	}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		if err := sweepCancelled(opts.Context, iter); err != nil {
+		if err := sweepGate(&opts, iter); err != nil {
 			return nil, err
 		}
 		prev := res.lam.Clone()

@@ -1,0 +1,272 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CheckpointVersion is the format version this package writes; Load
+// rejects files written by a different (future) version rather than
+// guessing at their semantics.
+const CheckpointVersion = 1
+
+// checkpointKind tags the file so other tools (and humans) can tell what
+// produced it.
+const checkpointKind = "pattern-search"
+
+// JSONFloat is a float64 whose JSON form round-trips bit-exactly,
+// including the non-finite values encoding/json rejects: finite values use
+// the shortest decimal that parses back to the same bits, ±Inf and NaN are
+// encoded as the strings "+Inf", "-Inf" and "NaN". The memo cache stores
+// +Inf for infeasible candidates, so checkpoints need the full range.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = JSONFloat(math.Inf(1))
+		case "-Inf":
+			*f = JSONFloat(math.Inf(-1))
+		case "NaN":
+			*f = JSONFloat(math.NaN())
+		default:
+			return fmt.Errorf("pattern: invalid float string %q in checkpoint", s)
+		}
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("pattern: invalid float %q in checkpoint", b)
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// Checkpoint is the durable state of a pattern search: a versioned,
+// self-describing snapshot written atomically on a commit cadence and fed
+// back through Options.Resume after a crash, kill or deadline.
+//
+// The load-bearing field is Visited — the full memo cache (FLOC/FSTR table)
+// at snapshot time. Resume does not fast-forward to Best: it preloads the
+// cache and lets the search REPLAY from its start point. Every decision of
+// the replayed trajectory is answered from the cache (no objective calls),
+// so the search reaches the interruption frontier in memo-lookup time and
+// then continues exactly as the uninterrupted run would have: warm-start
+// engines re-commit along the identical base-point trajectory, rebuilding
+// the exact solver seeds the frontier evaluations would have seen. The
+// final Best/BestValue/BasePoints are therefore bit-identical to the
+// uninterrupted run at any worker count. Best, Step and the counters are
+// recorded for inspection and sanity checks, not for control flow.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"`
+	// ModelHash identifies the (network, options) pair the cached values
+	// were computed for; resuming against a different model is rejected by
+	// core before any stale value can poison a search.
+	ModelHash string `json:"model_hash,omitempty"`
+	// Dim is the dimension of the search lattice; every vector field and
+	// every Visited key must agree with it.
+	Dim int `json:"dim"`
+	// Start is the (clamped) start point the recorded trajectory grew from.
+	Start []int `json:"start,omitempty"`
+	// Best/BestValue are the base point and objective at snapshot time.
+	Best      []int     `json:"best,omitempty"`
+	BestValue JSONFloat `json:"best_value,omitempty"`
+	// Step and Halvings are the pattern-search step state at snapshot time.
+	Step     []int `json:"step,omitempty"`
+	Halvings int   `json:"halvings,omitempty"`
+	// Commits and Evaluations count committed base points and real
+	// objective calls of the run that wrote the snapshot.
+	Commits     int `json:"commits,omitempty"`
+	Evaluations int `json:"evaluations,omitempty"`
+	// Done marks a checkpoint written at normal termination: resuming from
+	// it replays to the final answer without any objective calls.
+	Done bool `json:"done,omitempty"`
+	// Visited is the memoised objective cache, keyed by
+	// numeric.IntVector.Key() ("w1,w2,...").
+	Visited map[string]JSONFloat `json:"visited"`
+	// Aux carries caller state verbatim (core stores per-scenario
+	// degradation progress for DimensionRobust here).
+	Aux json.RawMessage `json:"aux,omitempty"`
+}
+
+// CheckpointOptions configures durable checkpointing of a Search run.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; writes go to a temp file in the same
+	// directory followed by an atomic rename, so a reader (or a resumed
+	// run) never observes a partially written checkpoint.
+	Path string
+	// Every is the commit cadence: a snapshot is written every Every-th
+	// committed base point (<= 0 means every commit). Termination and
+	// cancellation always write a final snapshot regardless of cadence.
+	Every int
+	// ModelHash is stamped into every snapshot (see Checkpoint.ModelHash).
+	ModelHash string
+	// Aux, when non-nil, is called at snapshot time (serially, never
+	// concurrent with objective evaluations) to capture caller state.
+	Aux func() json.RawMessage
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := ParseCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("pattern: checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// ParseCheckpoint decodes a checkpoint and validates its internal
+// consistency (version, kind, dimensions, key syntax). Malformed input of
+// any shape returns an error, never a panic: checkpoints may come from
+// disk written by older binaries or truncated by failed copies.
+func ParseCheckpoint(data []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("parsing checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("unsupported checkpoint version %d (this binary writes %d)", cp.Version, CheckpointVersion)
+	}
+	if cp.Kind != checkpointKind {
+		return nil, fmt.Errorf("checkpoint kind %q is not %q", cp.Kind, checkpointKind)
+	}
+	if cp.Dim < 1 {
+		return nil, fmt.Errorf("checkpoint dimension %d; need >= 1", cp.Dim)
+	}
+	for _, v := range [][]int{cp.Start, cp.Best, cp.Step} {
+		if v != nil && len(v) != cp.Dim {
+			return nil, fmt.Errorf("checkpoint vector length %d does not match dimension %d", len(v), cp.Dim)
+		}
+	}
+	for k := range cp.Visited {
+		if !validPointKey(k, cp.Dim) {
+			return nil, fmt.Errorf("checkpoint visited key %q is not a %d-dimensional lattice point", k, cp.Dim)
+		}
+	}
+	return &cp, nil
+}
+
+// validPointKey reports whether k is a well-formed IntVector.Key() of the
+// given dimension.
+func validPointKey(k string, dim int) bool {
+	parts := strings.Split(k, ",")
+	if len(parts) != dim {
+		return false
+	}
+	for _, p := range parts {
+		if _, err := strconv.Atoi(p); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Save writes the checkpoint atomically: marshal, write to a temp file in
+// the destination directory, fsync, rename. A crash at any instant leaves
+// either the previous complete checkpoint or the new complete one on disk
+// — never a torn file.
+func (cp *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("pattern: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("pattern: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("pattern: write checkpoint: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("pattern: sync checkpoint: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("pattern: close checkpoint: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("pattern: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// snapshot builds the current checkpoint state. Called only from commit
+// points and termination, where the pass barrier guarantees no objective
+// evaluation (and hence no cache mutation) is in flight.
+func (s *searcher) snapshot(done bool) *Checkpoint {
+	cp := &Checkpoint{
+		Version:     CheckpointVersion,
+		Kind:        checkpointKind,
+		ModelHash:   s.ckpt.ModelHash,
+		Dim:         len(s.start),
+		Start:       append([]int(nil), s.start...),
+		Best:        append([]int(nil), s.base...),
+		BestValue:   JSONFloat(s.fBase),
+		Step:        append([]int(nil), s.step...),
+		Halvings:    s.halvings,
+		Commits:     s.commits,
+		Evaluations: s.result.Evaluations,
+		Done:        done,
+		Visited:     make(map[string]JSONFloat, len(s.cache)),
+	}
+	for k, v := range s.cache {
+		cp.Visited[k] = JSONFloat(v)
+	}
+	if s.ckpt.Aux != nil {
+		cp.Aux = s.ckpt.Aux()
+	}
+	return cp
+}
+
+// writeCheckpoint persists the current state when checkpointing is
+// configured; final (termination/cancellation) writes ignore the cadence.
+func (s *searcher) writeCheckpoint(final bool) error {
+	if s.ckpt == nil {
+		return nil
+	}
+	every := s.ckpt.Every
+	if every <= 0 {
+		every = 1
+	}
+	if !final && s.commits%every != 0 {
+		return nil
+	}
+	return s.snapshot(final && s.doneOK).Save(s.ckpt.Path)
+}

@@ -73,6 +73,21 @@ type Options struct {
 	// degrades to "the best windows found in the time allowed" instead of
 	// nothing. nil means never cancelled.
 	Context context.Context
+	// Checkpoint, when non-nil, enables durable checkpoints: a snapshot of
+	// the search state is written atomically to Checkpoint.Path on the
+	// configured commit cadence, at cancellation, and at termination.
+	// Snapshots are taken only at commit points — after the pass barrier —
+	// so they never observe a partially evaluated pass.
+	Checkpoint *CheckpointOptions
+	// Resume, when non-nil, preloads the memo cache from a checkpoint
+	// before the search starts. The search still runs from its start
+	// point; the previously explored trajectory replays out of the cache
+	// without objective calls (OnCommit still fires along it, rebuilding
+	// warm-start state), so the result is bit-identical to an
+	// uninterrupted run at any worker count. The checkpoint's dimension
+	// must match the start point; validating ModelHash against the current
+	// model is the caller's job (core does it).
+	Resume *Checkpoint
 }
 
 func (o Options) withDefaults(dim int) (Options, error) {
@@ -139,6 +154,16 @@ type searcher struct {
 	cache  map[string]float64
 	result *Result
 	sem    chan struct{} // nil when serial; bounds speculative goroutines
+
+	// Snapshot state for checkpointing, maintained by Search's main loop.
+	ckpt     *CheckpointOptions
+	start    numeric.IntVector
+	base     numeric.IntVector
+	fBase    float64
+	step     numeric.IntVector
+	halvings int
+	commits  int
+	doneOK   bool // set when the search terminated normally
 }
 
 // future is one speculative objective evaluation in flight.
@@ -164,16 +189,32 @@ func (sp *speculation) wait() {
 	}
 }
 
+// inBox reports whether x lies inside the [Lo, Hi] search box.
+func (s *searcher) inBox(x numeric.IntVector) bool {
+	for i := range x {
+		if x[i] < s.opts.Lo[i] || (s.opts.Hi != nil && x[i] > s.opts.Hi[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // speculate launches the up-to-2R exploratory probes about x concurrently.
 // Points outside the box or already memoised are skipped — the serial
-// replay answers those without calling the objective.
+// replay answers those without calling the objective. The WHOLE probe is
+// box-checked, not just the perturbed coordinate: a pattern-move base can
+// itself sit outside the box, and its out-of-box neighbours must never
+// reach the objective — the serial replay answers them +Inf, and an
+// objective with side effects on failure (scenario degradation in
+// core.DimensionRobust) must not observe points the serial search would
+// never feed it.
 func (s *searcher) speculate(x numeric.IntVector, step numeric.IntVector) *speculation {
 	sp := &speculation{futures: make(map[string]*future, 2*len(x))}
 	for i := range x {
 		for _, dir := range [2]int{1, -1} {
 			p := x.Clone()
 			p[i] += dir * step[i]
-			if p[i] < s.opts.Lo[i] || (s.opts.Hi != nil && p[i] > s.opts.Hi[i]) {
+			if !s.inBox(p) {
 				continue
 			}
 			key := p.Key()
@@ -208,10 +249,8 @@ func (s *searcher) eval(x numeric.IntVector, sp *speculation) (float64, error) {
 			return 0, fmt.Errorf("pattern: search cancelled: %w", err)
 		}
 	}
-	for i := range x {
-		if x[i] < s.opts.Lo[i] || (s.opts.Hi != nil && x[i] > s.opts.Hi[i]) {
-			return math.Inf(1), nil
-		}
+	if !s.inBox(x) {
+		return math.Inf(1), nil
 	}
 	key := x.Key()
 	if v, ok := s.cache[key]; ok {
@@ -244,12 +283,18 @@ func (s *searcher) eval(x numeric.IntVector, sp *speculation) (float64, error) {
 	return v, nil
 }
 
-// commit records a newly accepted base point and notifies OnCommit.
-func (s *searcher) commit(x numeric.IntVector, fx float64) {
+// commit records a newly accepted base point, notifies OnCommit and, on
+// the configured cadence, writes a checkpoint. The write follows OnCommit
+// so the snapshot's Aux callback sees the caller's post-commit state.
+func (s *searcher) commit(x numeric.IntVector, fx float64) error {
+	s.base = x
+	s.fBase = fx
+	s.commits++
 	s.result.BasePoints = append(s.result.BasePoints, x.Clone())
 	if s.opts.OnCommit != nil {
 		s.opts.OnCommit(x.Clone(), fx)
 	}
+	return s.writeCheckpoint(false)
 }
 
 // explore performs one exploratory pass about x (value fx): each
@@ -302,9 +347,19 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	s := &searcher{obj: obj, opts: opts, cache: make(map[string]float64), result: &Result{}}
+	s := &searcher{obj: obj, opts: opts, cache: make(map[string]float64), result: &Result{}, ckpt: opts.Checkpoint}
 	if opts.Workers > 1 {
 		s.sem = make(chan struct{}, opts.Workers)
+	}
+	if rc := opts.Resume; rc != nil {
+		if rc.Dim != len(start) {
+			return nil, fmt.Errorf("pattern: resume checkpoint dimension %d does not match start dimension %d", rc.Dim, len(start))
+		}
+		// Preload the memo cache; the replayed trajectory is answered from
+		// it without objective calls.
+		for k, v := range rc.Visited {
+			s.cache[k] = float64(v)
+		}
 	}
 
 	// Clamp the start into the box.
@@ -317,6 +372,7 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 			base[i] = opts.Hi[i]
 		}
 	}
+	s.start = base.Clone()
 	fBase, err := s.eval(base, nil)
 	if err != nil {
 		return nil, err
@@ -324,7 +380,12 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 	if math.IsInf(fBase, 1) {
 		return nil, errors.New("pattern: objective is +Inf at the start point")
 	}
-	s.commit(base, fBase)
+	s.step = opts.InitialStep.Clone()
+	if err := s.commit(base, fBase); err != nil {
+		// A checkpoint path that cannot be written is a configuration
+		// error; failing fast beats discovering it at the first crash.
+		return nil, err
+	}
 
 	// fail maps an error out of the search loop. Cancellation degrades to
 	// the best-so-far result — the committed base point is always a fully
@@ -334,15 +395,19 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 		if ctx := s.opts.Context; ctx != nil && ctx.Err() != nil {
 			s.result.Best = base
 			s.result.BestValue = fBase
-			return s.result, fmt.Errorf("pattern: search cancelled at best-so-far %v: %w", base, ctx.Err())
+			err = fmt.Errorf("pattern: search cancelled at best-so-far %v: %w", base, ctx.Err())
+			// A final snapshot so a resumed run replays everything learned
+			// up to the cancellation, not just up to the last cadence hit.
+			if werr := s.writeCheckpoint(true); werr != nil {
+				err = fmt.Errorf("%w (final checkpoint write failed: %v)", err, werr)
+			}
+			return s.result, err
 		}
 		return nil, err
 	}
 
-	step := opts.InitialStep.Clone()
-	halvings := 0
 	for {
-		cand, fCand, err := s.explore(base, fBase, step)
+		cand, fCand, err := s.explore(base, fBase, s.step)
 		if err != nil {
 			return fail(err)
 		}
@@ -351,7 +416,9 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 			// each projected point (Fig. 4.3/4.4).
 			prev := base
 			base, fBase = cand, fCand
-			s.commit(base, fBase)
+			if err := s.commit(base, fBase); err != nil {
+				return fail(err)
+			}
 			for {
 				probe := base.Clone()
 				for i := range probe {
@@ -361,14 +428,16 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 				if err != nil {
 					return fail(err)
 				}
-				cand2, fCand2, err := s.explore(probe, fProbe, step)
+				cand2, fCand2, err := s.explore(probe, fProbe, s.step)
 				if err != nil {
 					return fail(err)
 				}
 				if fCand2 < fBase {
 					prev = base
 					base, fBase = cand2, fCand2
-					s.commit(base, fBase)
+					if err := s.commit(base, fBase); err != nil {
+						return fail(err)
+					}
 					continue
 				}
 				break
@@ -377,18 +446,23 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 		}
 		// Exploration failed: halve the step (integer floor at 1) and
 		// count the reduction, as the APL program's K counter does.
-		if halvings >= opts.MaxHalvings {
+		if s.halvings >= opts.MaxHalvings {
 			break
 		}
-		halvings++
-		for i := range step {
-			if step[i] > 1 {
-				step[i] /= 2
+		s.halvings++
+		for i := range s.step {
+			if s.step[i] > 1 {
+				s.step[i] /= 2
 			}
 		}
 	}
 	s.result.Best = base
 	s.result.BestValue = fBase
+	s.base, s.fBase = base, fBase
+	s.doneOK = true
+	if err := s.writeCheckpoint(true); err != nil {
+		return s.result, fmt.Errorf("pattern: search finished but final checkpoint write failed: %w", err)
+	}
 	return s.result, nil
 }
 

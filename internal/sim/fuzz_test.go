@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// FuzzParseFaultSpec checks the fault-file parser never panics and that
+// every spec it accepts is fully resolved: indices in range and the same
+// validation Run performs passing.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"outages": [{"channel": "WT", "start_sec": 1, "end_sec": 2}]}`))
+	f.Add([]byte(`{"degradations": [{"channel": "EW", "start_sec": 0, "end_sec": 5, "factor": 0.5}]}`))
+	f.Add([]byte(`{"surges": [{"class": "class1", "start_sec": 2, "end_sec": 4, "factor": 3}]}`))
+	f.Add([]byte(`{"outages": [{"channel": "nope", "start_sec": 1, "end_sec": 2}]}`))
+	f.Add([]byte(`{"outages": [{"channel": "WT", "start_sec": 9, "end_sec": 2}]}`))
+	n := topo.Canada2Class(20, 20)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseFaultSpec(data, n)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := spec.Validate(n); err != nil {
+			t.Fatalf("ParseFaultSpec accepted an invalid spec: %v", err)
+		}
+		for i, o := range spec.Outages {
+			if o.Channel < 0 || o.Channel >= len(n.Channels) {
+				t.Fatalf("outage %d: channel index %d out of range", i, o.Channel)
+			}
+		}
+		for i, d := range spec.Degradations {
+			if d.Channel < 0 || d.Channel >= len(n.Channels) {
+				t.Fatalf("degradation %d: channel index %d out of range", i, d.Channel)
+			}
+		}
+		for i, s := range spec.Surges {
+			if s.Class < 0 || s.Class >= len(n.Classes) {
+				t.Fatalf("surge %d: class index %d out of range", i, s.Class)
+			}
+		}
+	})
+}
