@@ -31,9 +31,26 @@ type benchResult struct {
 }
 
 type benchFile struct {
-	Go      string        `json:"go"`
-	Workers int           `json:"workers"`
-	Results []benchResult `json:"results"`
+	Go         string        `json:"go"`
+	CPU        string        `json:"cpu,omitempty"`
+	Gomaxprocs int           `json:"gomaxprocs,omitempty"`
+	Workers    int           `json:"workers"`
+	Results    []benchResult `json:"results"`
+}
+
+// warnEnvMismatch flags baseline/current machine differences on stderr.
+// Non-fatal: the gate still runs, but a SLOWER verdict measured on
+// different hardware (or a different GOMAXPROCS) is circumstantial
+// evidence, and the operator should know the band was crossed unfairly.
+func warnEnvMismatch(base, cur *benchFile) {
+	if base.CPU != "" && cur.CPU != "" && base.CPU != cur.CPU {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: baseline CPU %q vs current %q — wall-clock comparisons may mislead\n",
+			base.CPU, cur.CPU)
+	}
+	if base.Gomaxprocs > 0 && cur.Gomaxprocs > 0 && base.Gomaxprocs != cur.Gomaxprocs {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: baseline GOMAXPROCS %d vs current %d — parallel timings may mislead\n",
+			base.Gomaxprocs, cur.Gomaxprocs)
+	}
 }
 
 func main() {
@@ -64,6 +81,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	warnEnvMismatch(base, cur)
 	curByName := make(map[string]benchResult, len(cur.Results))
 	for _, r := range cur.Results {
 		curByName[r.Name] = r

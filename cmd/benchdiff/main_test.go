@@ -78,6 +78,28 @@ func TestBenchdiffNewBenchmarkAllowed(t *testing.T) {
 	}
 }
 
+func TestBenchdiffEnvMismatchWarnsOnly(t *testing.T) {
+	// A baseline measured on different hardware (CPU model, GOMAXPROCS)
+	// must produce a warning, never a failure: the results themselves are
+	// in band here.
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json",
+		`{"go":"go1.24.0","cpu":"Old CPU @ 2.0GHz","gomaxprocs":4,"workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5}]}`)
+	cur := writeBench(t, dir, "cur.json",
+		`{"go":"go1.24.0","cpu":"New CPU @ 5.0GHz","gomaxprocs":16,"workers":4,"results":[
+		{"name":"A","ns_per_op":1100,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5}]}`)
+	if err := run([]string{"-baseline", base, "-current", cur}); err != nil {
+		t.Fatalf("machine mismatch failed the gate: %v", err)
+	}
+	// Files without the machine fields (older baselines) stay silent and green.
+	legacy := writeBench(t, dir, "legacy.json", baseJSON)
+	curLegacy := writeBench(t, dir, "curlegacy.json", baseJSON)
+	if err := run([]string{"-baseline", legacy, "-current", curLegacy}); err != nil {
+		t.Fatalf("legacy headers failed the gate: %v", err)
+	}
+}
+
 func TestBenchdiffEvalRegression(t *testing.T) {
 	dir := t.TempDir()
 	base := writeBench(t, dir, "base.json", baseJSON)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -26,9 +27,29 @@ type BenchResult struct {
 }
 
 type benchFile struct {
-	Go      string        `json:"go"`
-	Workers int           `json:"workers"`
-	Results []BenchResult `json:"results"`
+	Go string `json:"go"`
+	// CPU and Gomaxprocs record the machine the baseline was measured on;
+	// benchdiff warns (without failing) when they differ from the current
+	// run, since wall-clock bands across different hardware mean little.
+	CPU        string        `json:"cpu,omitempty"`
+	Gomaxprocs int           `json:"gomaxprocs,omitempty"`
+	Workers    int           `json:"workers"`
+	Results    []BenchResult `json:"results"`
+}
+
+// cpuModel names the measuring CPU: the first "model name" of
+// /proc/cpuinfo where available, the architecture otherwise.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(rest, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
 }
 
 // robustBenchScenarios is the fixed three-scenario set behind the
@@ -57,6 +78,16 @@ func runJSONBench(path string, opts core.Options) error {
 	if parallel.Workers < 2 {
 		parallel.Workers = 4
 	}
+	// The exact-oracle pair: the same exhaustive box over Canada4Class
+	// solved exactly per candidate (the baseline the thesis-era code paid)
+	// versus served from one shared convolution lattice — the tentpole's
+	// headline speedup.
+	exhaustiveExact := serial
+	exhaustiveExact.Evaluator = core.EvalExactMVA
+	exhaustiveExact.Search = core.ExhaustiveSearch
+	exhaustiveExact.MaxWindow = 7
+	exhaustiveExactEngine := exhaustiveExact
+	exhaustiveExactEngine.ExactEngine = true
 
 	// evals runs a dimensioning once, purely to report the objective
 	// evaluation count next to its timing.
@@ -131,6 +162,19 @@ func runJSONBench(path string, opts core.Options) error {
 			_, err := core.DimensionRobust(canada4, robustBenchScenarios(), core.RobustMinimax, serial)
 			return err
 		}},
+		{"exact_engine", nil, nil}, // filled below: evals inside a prebuilt lattice
+		{"exhaustive_exact", func() (int, error) {
+			return evals(core.Dimension(canada4, exhaustiveExactEngine))
+		}, func() error {
+			_, err := core.Dimension(canada4, exhaustiveExactEngine)
+			return err
+		}},
+		{"exhaustive_exact_solve", func() (int, error) {
+			return evals(core.Dimension(canada4, exhaustiveExact))
+		}, func() error {
+			_, err := core.Dimension(canada4, exhaustiveExact)
+			return err
+		}},
 	}
 	// The engine micro-benchmark reuses one engine across iterations —
 	// that is the steady state it exists to measure.
@@ -143,8 +187,31 @@ func runJSONBench(path string, opts core.Options) error {
 		_, err := eng.ObjectiveValue(w, opts.Objective)
 		return err
 	}
+	// exact_engine measures a candidate evaluation INSIDE an already-built
+	// convolution lattice — the steady state of an engine-backed search,
+	// which must cost slice reads, not a recursion over the box.
+	exactSteady := serial
+	exactSteady.Evaluator = core.EvalExactMVA
+	exactSteady.ExactEngine = true
+	exactEng, err := core.NewEngine(canada2, exactSteady)
+	if err != nil {
+		return err
+	}
+	if _, err := exactEng.ObjectiveValue(numeric.IntVector{6, 6}, exactSteady.Objective); err != nil {
+		return err // builds the (6,6) box once; the benchmark stays inside it
+	}
+	wInside := numeric.IntVector{4, 5}
+	suite[7].body = func() error {
+		_, err := exactEng.ObjectiveValue(wInside, exactSteady.Objective)
+		return err
+	}
 
-	out := benchFile{Go: runtime.Version(), Workers: parallel.Workers}
+	out := benchFile{
+		Go:         runtime.Version(),
+		CPU:        cpuModel(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers,
+	}
 	for _, s := range suite {
 		var benchErr error
 		body := s.body

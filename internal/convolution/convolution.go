@@ -68,14 +68,27 @@ const LatticeBudget = 1 << 24
 // Solve computes the exact solution of the closed multichain network.
 // It returns an error if the network is invalid or the population lattice
 // exceeds LatticeBudget.
+//
+// Internally Solve builds the shared prefix/suffix lattice (the same
+// machinery behind Engine) so each station is convolved exactly once per
+// direction; when that would exceed hoistFloatBudget floats of memory it
+// falls back to the historical per-station recomputation, which uses only
+// a constant number of lattice-sized arrays.
 func Solve(net *qnet.Network) (*Solution, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	net = net.EffectiveClosed()
-	s, err := newSolver(net)
+	s, err := newSolverAt(net, net.Populations(), LatticeBudget)
 	if err != nil {
 		return nil, err
+	}
+	if hoistFloats(s.n, s.size) <= hoistFloatBudget {
+		lat, err := buildLattice(s, 1)
+		if err != nil {
+			return nil, err
+		}
+		return lat.evalAt(s.h)
 	}
 	return s.solve()
 }
@@ -91,9 +104,11 @@ type solver struct {
 	strideCache []int           // mixed-radix strides for e_w steps
 }
 
-func newSolver(net *qnet.Network) (*solver, error) {
-	h := net.Populations()
-	size, err := numeric.LatticeSize(h, LatticeBudget)
+// newSolverAt prepares a solver for the population box h, which need not
+// match net's chain populations (the Engine evaluates many population
+// vectors inside one bounding box).
+func newSolverAt(net *qnet.Network, h numeric.IntVector, budget int) (*solver, error) {
+	size, err := numeric.LatticeSize(h, budget)
 	if err != nil {
 		return nil, fmt.Errorf("convolution: %w", err)
 	}
@@ -207,111 +222,130 @@ func (s *solver) convolveFixedRate(n int, g []float64) []float64 {
 // evaluation is guaranteed to produce ±Inf intermediates.
 const factorialOverflowTotal = 170
 
+// capacityTables precomputes the per-station lookup tables the capacity
+// coefficient c_n(j) of eq. 3.27 reads: the direct factorial and
+// rate-factor products up to factorialOverflowTotal customers, their
+// log2-space counterparts up to the full box total, and the log2 scaled
+// demands. One instance serves both the initial build and incremental
+// extension, so the two compute bit-identical values.
+type capacityTables struct {
+	a, fact   []float64 // direct tables, indices 0..directMax
+	la, lfact []float64 // log2 tables, indices 0..maxTotal
+	lrho      []float64 // log2 of the scaled demands, per chain
+	directMax int
+}
+
+func (s *solver) capacityTablesFor(n int) *capacityTables {
+	st := &s.net.Stations[n]
+	maxTotal := s.h.Sum()
+	t := &capacityTables{directMax: min(maxTotal, factorialOverflowTotal)}
+	t.a = make([]float64, t.directMax+1)
+	t.fact = make([]float64, t.directMax+1)
+	t.a[0], t.fact[0] = 1, 1
+	for k := 1; k <= t.directMax; k++ {
+		t.a[k] = t.a[k-1] / st.RateFactor(k)
+		t.fact[k] = t.fact[k-1] * float64(k)
+	}
+	t.la = make([]float64, maxTotal+1)
+	t.lfact = make([]float64, maxTotal+1)
+	for k := 1; k <= maxTotal; k++ {
+		t.la[k] = t.la[k-1] - math.Log2(st.RateFactor(k))
+		t.lfact[k] = t.lfact[k-1] + math.Log2(float64(k))
+	}
+	t.lrho = make([]float64, s.w)
+	for w := 0; w < s.w; w++ {
+		t.lrho[w] = math.Log2(s.rho.At(n, w))
+	}
+	return t
+}
+
+// capacityAt evaluates c_n(j) at one occupancy vector j, returning either
+// the direct value of eq. 3.27 (ok true) or its log2 (ok false; -Inf marks
+// a structural zero). The rule is POINT-LOCAL — direct wherever the
+// factorial products stay finite, log2 beyond — so the value never depends
+// on the bounding box the point is evaluated in. That independence is what
+// lets an Engine answer a population vector identically whether its box
+// was built at the vector, grown to it incrementally, or built far beyond
+// it.
+func (s *solver) capacityAt(n int, t *capacityTables, j numeric.IntVector) (v, l float64, ok bool) {
+	total := 0
+	acc := 0.0
+	for w := 0; w < s.w; w++ {
+		if jw := j[w]; jw > 0 {
+			total += jw
+			acc += float64(jw)*t.lrho[w] - t.lfact[jw]
+		}
+	}
+	l = t.la[total] + t.lfact[total] + acc
+	if total <= t.directMax {
+		prod := 1.0
+		for w := 0; w < s.w; w++ {
+			if jw := j[w]; jw > 0 {
+				prod *= math.Pow(s.rho.At(n, w), float64(jw)) / t.fact[jw]
+			}
+		}
+		if v = t.a[total] * t.fact[total] * prod; !math.IsInf(v, 0) && !math.IsNaN(v) {
+			return v, l, true
+		}
+	}
+	return 0, l, false
+}
+
+// capacityStore renders a capacityAt result at the array scale 2^shift.
+// Direct values are shifted by the exact power of two; log2 values use the
+// canonical form mantissa 2^(l-floor(l)) in [1, 2) times 2^(floor(l)-shift),
+// whose rounding is also independent of the box (and of shift, barring
+// over/underflow at the float64 range limits).
+func capacityStore(v, l float64, direct bool, shift int) float64 {
+	if direct {
+		if shift == 0 {
+			return v
+		}
+		return math.Ldexp(v, -shift)
+	}
+	if math.IsInf(l, -1) {
+		return 0
+	}
+	fl := math.Floor(l)
+	return math.Ldexp(math.Exp2(l-fl), int(fl)-shift)
+}
+
 // capacityCoefficients returns c_n(j) for all lattice points j
 // (eq. 3.27): c_n(j) = a_n(|j|) * |j|! * prod_w rho_nw^{j_w} / j_w!,
 // with a_n(k) = 1 / prod_{l=1..k} RateFactor(l), together with a
 // power-of-two shift (true = returned × 2^shift).
 //
-// The direct evaluation is used whenever it stays finite — it then carries
-// shift 0 and is bit-identical to the historical code. Populations beyond
-// 170 (where the |j|! table overflows) and extreme rate factors switch to
-// a log2-space evaluation whose coefficients come back normalised to peak
-// near 2^0; its values agree with the direct ones to ordinary rounding,
-// where both exist.
+// Each point uses the point-local rule of capacityAt: the direct
+// evaluation wherever it stays finite — when every point does, the array
+// carries shift 0 and is bit-identical to the historical code — and the
+// canonical log2-space form beyond (populations past 170 overflow the
+// |j|! table; extreme rate factors overflow earlier). The whole array is
+// normalised by a single power-of-two shift near the log2-space peak.
 func (s *solver) capacityCoefficients(n int) ([]float64, int) {
-	if s.h.Sum() <= factorialOverflowTotal {
-		c := s.capacityCoefficientsDirect(n)
-		finite := true
-		for _, v := range c {
-			if math.IsInf(v, 0) || math.IsNaN(v) {
-				finite = false
-				break
-			}
-		}
-		if finite {
-			return c, 0
-		}
-	}
-	return s.capacityCoefficientsLog2(n)
-}
-
-func (s *solver) capacityCoefficientsDirect(n int) []float64 {
-	st := &s.net.Stations[n]
-	maxTotal := s.h.Sum()
-	a := make([]float64, maxTotal+1)
-	a[0] = 1
-	for k := 1; k <= maxTotal; k++ {
-		a[k] = a[k-1] / st.RateFactor(k)
-	}
-	fact := make([]float64, maxTotal+1)
-	fact[0] = 1
-	for k := 1; k <= maxTotal; k++ {
-		fact[k] = fact[k-1] * float64(k)
-	}
+	t := s.capacityTablesFor(n)
 	c := make([]float64, s.size)
-	idx := 0
-	numeric.LatticeWalk(s.h, func(p numeric.IntVector) {
-		total := 0
-		prod := 1.0
-		for w := 0; w < s.w; w++ {
-			jw := p[w]
-			total += jw
-			if jw > 0 {
-				r := s.rho.At(n, w)
-				prod *= math.Pow(r, float64(jw)) / fact[jw]
-			}
-		}
-		c[idx] = a[total] * fact[total] * prod
-		idx++
-	})
-	return c
-}
-
-// capacityCoefficientsLog2 evaluates eq. 3.27 in log2 space, immune to the
-// factorial/rate-factor overflow of the direct path. A zero rho with a
-// positive j_w is a structural zero (log -Inf) and stays exactly zero.
-func (s *solver) capacityCoefficientsLog2(n int) ([]float64, int) {
-	st := &s.net.Stations[n]
-	maxTotal := s.h.Sum()
-	la := make([]float64, maxTotal+1)
-	lfact := make([]float64, maxTotal+1)
-	for k := 1; k <= maxTotal; k++ {
-		la[k] = la[k-1] - math.Log2(st.RateFactor(k))
-		lfact[k] = lfact[k-1] + math.Log2(float64(k))
-	}
-	lrho := make([]float64, s.w)
-	for w := 0; w < s.w; w++ {
-		lrho[w] = math.Log2(s.rho.At(n, w))
-	}
 	lc := make([]float64, s.size)
+	isDirect := make([]bool, s.size)
+	anyLog2 := false
 	peak := math.Inf(-1)
 	idx := 0
 	numeric.LatticeWalk(s.h, func(p numeric.IntVector) {
-		total := 0
-		acc := 0.0
-		for w := 0; w < s.w; w++ {
-			if jw := p[w]; jw > 0 {
-				total += jw
-				acc += float64(jw)*lrho[w] - lfact[jw]
-			}
+		v, l, ok := s.capacityAt(n, t, p)
+		c[idx], lc[idx], isDirect[idx] = v, l, ok
+		if !ok {
+			anyLog2 = true
 		}
-		l := la[total] + lfact[total] + acc
-		lc[idx] = l
 		if l > peak {
 			peak = l
 		}
 		idx++
 	})
 	shift := 0
-	if !math.IsInf(peak, -1) && !math.IsNaN(peak) {
+	if anyLog2 && !math.IsInf(peak, -1) && !math.IsNaN(peak) {
 		shift = int(peak)
 	}
-	c := make([]float64, s.size)
-	for i := range lc {
-		if math.IsInf(lc[i], -1) {
-			continue
-		}
-		c[i] = math.Exp2(lc[i] - float64(shift))
+	for i := range c {
+		c[i] = capacityStore(c[i], lc[i], isDirect[i], shift)
 	}
 	return c, shift
 }

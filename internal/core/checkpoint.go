@@ -33,6 +33,12 @@ func modelHash(n *netmodel.Network, opts Options, scenarios []Scenario, robust s
 	fmt.Fprintf(h, "|eval=%v|obj=%v|maxw=%d|maxh=%d|coldstart=%t|nofallback=%t",
 		opts.Evaluator, opts.Objective, opts.MaxWindow, opts.MaxHalvings,
 		opts.ColdStart, opts.DisableFallback)
+	if opts.ExactEngine {
+		// Convolution and exact-MVA values agree only to rounding, so
+		// engine-backed caches are not interchangeable with plain ones.
+		// Appended conditionally to leave pre-existing hashes unchanged.
+		fmt.Fprintf(h, "|exactengine=true")
+	}
 	fmt.Fprintf(h, "|start=%v|step=%v|buffers=%v",
 		opts.InitialWindows, opts.InitialStep, opts.BufferLimits)
 	fmt.Fprintf(h, "|mva tol=%g damp=%g maxiter=%d",
@@ -66,6 +72,7 @@ func searchCheckpointing(n *netmodel.Network, opts Options, scenarios []Scenario
 		ckpt = &pattern.CheckpointOptions{
 			Path:      opts.CheckpointPath,
 			Every:     opts.CheckpointEvery,
+			FullEvery: opts.CheckpointFullEvery,
 			ModelHash: hash,
 		}
 	}

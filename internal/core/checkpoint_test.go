@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -93,6 +94,63 @@ func TestDimensionCheckpointResume(t *testing.T) {
 
 // TestDimensionResumeRejectsMismatch: a checkpoint written for different
 // options or a different network must not seed a resume.
+// TestDimensionCheckpointFullEvery: the delta cadence plumbs through to
+// the pattern layer — the sidecar appears during the run, the resumed
+// search is bit-identical, and a finished run retires the sidecar.
+// (Cancellation writes a final FULL snapshot, so crash-resume through the
+// snapshot+delta merge itself is covered at the pattern layer, where a
+// hard objective failure can be injected.)
+func TestDimensionCheckpointFullEvery(t *testing.T) {
+	n := topo.Canada2Class(20, 20)
+	far := func() Options {
+		return Options{
+			InitialWindows:      numeric.IntVector{16, 16},
+			InitialStep:         numeric.IntVector{4, 4},
+			CheckpointFullEvery: 4,
+		}
+	}
+	ref, err := Dimension(n, Options{
+		InitialWindows: numeric.IntVector{16, 16},
+		InitialStep:    numeric.IntVector{4, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "windim.ckpt")
+	opts := far()
+	opts.CheckpointPath = path
+	sidecarSeen := false
+	cancelAfterCommits(2, &opts)
+	inner := opts.onCommit
+	opts.onCommit = func(x numeric.IntVector, fx float64) {
+		if _, err := os.Stat(path + ".delta"); err == nil {
+			sidecarSeen = true
+		}
+		inner(x, fx)
+	}
+	if _, err := Dimension(n, opts); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !sidecarSeen {
+		t.Error("delta sidecar never appeared during the run")
+	}
+	ropts := far()
+	ropts.CheckpointPath = path // keep checkpointing: the finished run must retire the sidecar
+	ropts.ResumePath = path
+	resumed, err := Dimension(n, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Windows.Equal(ref.Windows) ||
+		math.Float64bits(resumed.Search.BestValue) != math.Float64bits(ref.Search.BestValue) {
+		t.Errorf("resumed windows %v (%v), uninterrupted %v (%v)",
+			resumed.Windows, resumed.Search.BestValue, ref.Windows, ref.Search.BestValue)
+	}
+	if _, err := os.Stat(path + ".delta"); !os.IsNotExist(err) {
+		t.Errorf("sidecar survived normal termination (stat err %v)", err)
+	}
+}
+
 func TestDimensionResumeRejectsMismatch(t *testing.T) {
 	n := topo.Canada2Class(20, 20)
 	path := filepath.Join(t.TempDir(), "windim.ckpt")

@@ -43,7 +43,13 @@ type Engine struct {
 	useChain bool // resilient fallback chain on ErrNotConverged
 	// dog, when non-nil, bounds each candidate solve by a deadline derived
 	// from the rolling cost of recent candidates (Options.EvalTimeout).
-	dog  *watchdog
+	dog *watchdog
+	// conv, when non-nil (Options.ExactEngine), answers exact evaluations
+	// — the EvalExactMVA primary path and the TierExact fallback stage —
+	// from a shared convolution lattice instead of a fresh exponential
+	// recursion per candidate. Candidates it declines (lattice too large,
+	// numerical trouble) fall through to mva.ExactMultichain as before.
+	conv *convOracle
 	warm atomic.Pointer[mva.WarmStart]
 	pool sync.Pool
 	// tiers counts successful evaluations per fallback tier (see
@@ -103,6 +109,13 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		// guards the fixed-point solvers.
 		e.dog = newWatchdog(opts.EvalTimeout)
 	}
+	if opts.ExactEngine {
+		cache := opts.exactCache
+		if cache == nil {
+			cache = newExactCache()
+		}
+		e.conv = cache.oracleFor(ref, opts.Workers)
+	}
 	e.pool.New = func() any {
 		st := &evalState{
 			model: qnet.Network{
@@ -147,7 +160,12 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 	var err error
 	switch e.opts.Evaluator {
 	case EvalExactMVA:
-		sol, err = mva.ExactMultichain(&st.model)
+		if e.conv != nil {
+			sol = e.conv.solve(&st.model)
+		}
+		if sol == nil {
+			sol, err = mva.ExactMultichain(&st.model)
+		}
 	case EvalSchweitzerMVA:
 		mo := e.opts.MVA
 		mo.Method = mva.Schweitzer

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/convolution"
+	"repro/internal/mva"
+	"repro/internal/numeric"
+	"repro/internal/qnet"
+)
+
+// exactOracleCap bounds the population lattice of a single candidate the
+// convolution oracle will answer; larger candidates fall through to the
+// exact MVA recursion exactly as before the oracle existed. The cap is
+// candidate-local — whether a window vector is served by convolution is a
+// function of that vector alone, never of what else the search evaluated —
+// which keeps the speculative-parallel search deterministic. It matches
+// the exact fallback tier's own lattice cap.
+const exactOracleCap = exactFallbackLattice
+
+// errOracleDead marks a convOracle whose engine construction failed (for
+// example a network outside the convolution solver's product form); every
+// later query skips the shared engine and decides on a private box.
+var errOracleDead = errors.New("core: convolution oracle disabled")
+
+// convOracle wraps one shared convolution.Engine for one reference
+// network: a single normalisation-constant lattice, grown lazily to the
+// bounding box of the candidates it has answered, serving every exact
+// evaluation of the search (and, via exactCache, every scenario engine of
+// DimensionRobust built on the same structure). The lattice is rebuildable
+// state derived from the network alone — it is never serialised into
+// checkpoints; a resumed run rebuilds it on demand.
+type convOracle struct {
+	net     *qnet.Network
+	workers int
+
+	mu   sync.Mutex
+	eng  *convolution.Engine
+	dead bool
+}
+
+func newConvOracle(ref *qnet.Network, workers int) *convOracle {
+	if workers < 1 {
+		workers = 1
+	}
+	return &convOracle{net: ref, workers: workers}
+}
+
+// solve answers the exact solution at the populations currently set in
+// model's chains, or nil when the oracle cannot serve the candidate (a
+// too-large lattice, an unsupported network, numerical trouble) and the
+// caller should run the exact MVA recursion instead.
+//
+// Determinism: the capacity coefficients of the lattice are point-local
+// (see convolution.capacityAt), so the value returned for a candidate
+// never depends on the shared box's growth history — and when the shared
+// box cannot answer (cumulative budget, instability introduced while
+// growing toward a DIFFERENT candidate) the oracle retries on a private
+// box of exactly the candidate's populations, which yields the same
+// values. Whether and what the oracle answers is therefore a pure function
+// of the candidate, as the speculative-parallel search requires.
+func (o *convOracle) solve(model *qnet.Network) *mva.Solution {
+	pops := make(numeric.IntVector, len(model.Chains))
+	for r := range model.Chains {
+		pops[r] = model.Chains[r].Population
+	}
+	if _, err := numeric.LatticeSize(pops, exactOracleCap); err != nil {
+		return nil
+	}
+	m, err := o.sharedMeans(pops)
+	if err != nil {
+		m, err = o.privateMeans(pops)
+		if err != nil {
+			return nil
+		}
+	}
+	return meansSolution(m, model)
+}
+
+// sharedMeans evaluates on the long-lived engine, constructing it at the
+// first candidate's box (convolution.Engine grows it from there).
+func (o *convOracle) sharedMeans(pops numeric.IntVector) (*convolution.Means, error) {
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return nil, errOracleDead
+	}
+	if o.eng == nil {
+		eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers})
+		if err != nil {
+			o.dead = true
+			o.mu.Unlock()
+			return nil, err
+		}
+		o.eng = eng
+	}
+	eng := o.eng
+	o.mu.Unlock()
+	// The engine synchronises internally: reads inside the box share a
+	// read lock, growth serialises under a write lock.
+	return eng.MeansAt(pops)
+}
+
+// privateMeans evaluates on a throwaway engine built exactly at the
+// candidate — the deterministic fallback when the shared box cannot
+// answer for reasons the candidate does not share.
+func (o *convOracle) privateMeans(pops numeric.IntVector) (*convolution.Means, error) {
+	eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers, Budget: exactOracleCap})
+	if err != nil {
+		return nil, err
+	}
+	return eng.MeansAt(pops)
+}
+
+// meansSolution converts the engine's means into the mva.Solution shape
+// the evaluation pipeline consumes. Queue times follow from Little's law
+// per station and chain: t_ir = q_ir / (V_ir * lambda_r).
+func meansSolution(m *convolution.Means, model *qnet.Network) *mva.Solution {
+	sol := &mva.Solution{
+		Throughput: m.Throughput,
+		QueueLen:   m.QueueLen,
+		QueueTime:  numeric.NewMatrix(model.N(), model.R()),
+		Solver:     "convolution",
+	}
+	for i := 0; i < model.N(); i++ {
+		for r := 0; r < model.R(); r++ {
+			lam := m.Throughput[r] * model.Chains[r].Visits[i]
+			if q := m.QueueLen.At(i, r); lam > 0 && q > 0 {
+				sol.QueueTime.Set(i, r, q/lam)
+			}
+		}
+	}
+	return sol
+}
+
+// exactCache shares convolution oracles across Engines keyed by the
+// population-independent structure of their reference networks, so the
+// per-scenario engines of one DimensionRobust run reuse a single lattice
+// wherever scenarios leave the model structure unchanged.
+type exactCache struct {
+	mu sync.Mutex
+	m  map[string]*convOracle
+}
+
+func newExactCache() *exactCache { return &exactCache{m: map[string]*convOracle{}} }
+
+func (c *exactCache) oracleFor(ref *qnet.Network, workers int) *convOracle {
+	key := networkKey(ref)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if o, ok := c.m[key]; ok {
+		return o
+	}
+	o := newConvOracle(ref, workers)
+	c.m[key] = o
+	return o
+}
+
+// networkKey fingerprints everything the convolution lattice depends on
+// except the chain populations: station disciplines and capacity
+// functions, and per-chain visit ratios and service times, all floats
+// taken bit-exactly.
+func networkKey(net *qnet.Network) string {
+	h := sha256.New()
+	for i := range net.Stations {
+		st := &net.Stations[i]
+		fmt.Fprintf(h, "s%d k=%d srv=%d ol=%x rf=", i, st.Kind, st.Servers, math.Float64bits(st.OpenLoad))
+		for _, r := range st.RateFactors {
+			fmt.Fprintf(h, "%x,", math.Float64bits(r))
+		}
+	}
+	for r := range net.Chains {
+		ch := &net.Chains[r]
+		fmt.Fprintf(h, "|c%d v=", r)
+		for _, v := range ch.Visits {
+			fmt.Fprintf(h, "%x,", math.Float64bits(v))
+		}
+		fmt.Fprintf(h, " st=")
+		for _, v := range ch.ServTime {
+			fmt.Fprintf(h, "%x,", math.Float64bits(v))
+		}
+	}
+	return string(h.Sum(nil))
+}

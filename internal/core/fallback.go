@@ -160,6 +160,12 @@ func (e *Engine) solveFallback(st *evalState, warm *mva.WarmStart, primaryErr er
 		pops[r] = st.model.Chains[r].Population
 	}
 	if _, lerr := numeric.LatticeSize(pops, exactFallbackLattice); lerr == nil {
+		if e.conv != nil {
+			if csol := e.conv.solve(&st.model); csol != nil {
+				csol.Solver = "convolution+fallback"
+				return csol, TierExact, nil
+			}
+		}
 		sol, err = mva.ExactMultichain(&st.model)
 		if err == nil {
 			sol.Solver = "exact-mva+fallback"

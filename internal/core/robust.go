@@ -133,6 +133,11 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 	if opts.MinScenarios > len(scenarios) {
 		return nil, fmt.Errorf("core: quorum of %d exceeds the %d scenarios given", opts.MinScenarios, len(scenarios))
 	}
+	if opts.ExactEngine && opts.exactCache == nil {
+		// One oracle cache for the whole run: scenario engines whose
+		// perturbed models share a structure share a convolution lattice.
+		opts.exactCache = newExactCache()
+	}
 	weights := robustWeights(scenarios)
 	perturbed := make([]*netmodel.Network, len(scenarios))
 	engines := make([]*Engine, len(scenarios))

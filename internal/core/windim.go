@@ -155,6 +155,21 @@ type Options struct {
 	// run. Analytic evaluations are pure functions of the candidate, so
 	// both are safe. <= 1 is serial.
 	Workers int
+	// ExactEngine routes exact evaluations — the EvalExactMVA primary
+	// path and the TierExact stage of the resilient fallback chain —
+	// through a shared incremental convolution engine
+	// (convolution.Engine): one normalisation-constant lattice per search,
+	// grown to the bounding box of the candidates seen, answers each
+	// candidate inside the box by slice reads instead of a fresh
+	// exponential recursion. Convolution agrees with the exact MVA
+	// recursion to ordinary rounding (~1e-12 relative), so enabling the
+	// engine can move results within solver tolerance; it is off by
+	// default to preserve the historical per-candidate trajectories
+	// bit-for-bit. The lattice cache is rebuildable state: it is never
+	// serialised into checkpoints, and a resumed run rebuilds it on
+	// demand. Candidates whose own lattice exceeds the oracle's cap fall
+	// through to mva.ExactMultichain exactly as without the engine.
+	ExactEngine bool
 	// ColdStart disables warm-starting the approximate solvers from the
 	// last accepted base point. Warm starts change per-candidate values
 	// only within the solver tolerance (the fixed point is the same);
@@ -194,6 +209,13 @@ type Options struct {
 	CheckpointPath string
 	// CheckpointEvery is the commit cadence of checkpoint writes.
 	CheckpointEvery int
+	// CheckpointFullEvery spaces full snapshots among the durable writes:
+	// writes between them append compact delta records (only the memo-cache
+	// entries learned since the previous write) to CheckpointPath+".delta",
+	// making a per-commit cadence near-free on long searches. Resume reads
+	// snapshot + sidecar transparently. <= 1 writes a full snapshot every
+	// time (the historical behaviour).
+	CheckpointFullEvery int
 	// ResumePath, when non-empty, resumes from a checkpoint written by a
 	// previous run of the SAME model and options: the memo cache is
 	// preloaded and the search replays its trajectory out of it (warm
@@ -235,6 +257,10 @@ type Options struct {
 	// pattern search (after warm-seed promotion). Test hook: lets the
 	// checkpoint tests cancel a run after exactly K commits.
 	onCommit func(x numeric.IntVector, fx float64)
+	// exactCache, when non-nil, shares convolution oracles across the
+	// engines built from these options: DimensionRobust sets it so
+	// scenarios with identical station/chain structure reuse one lattice.
+	exactCache *exactCache
 }
 
 // Result is the outcome of a WINDIM run.

@@ -19,6 +19,14 @@ const CheckpointVersion = 1
 // produced it.
 const checkpointKind = "pattern-search"
 
+// deltaKind tags the append-only sidecar holding incremental records
+// between full snapshots; deltaSuffix is appended to CheckpointOptions.Path
+// to name it.
+const (
+	deltaKind   = "pattern-search-delta"
+	deltaSuffix = ".delta"
+)
+
 // JSONFloat is a float64 whose JSON form round-trips bit-exactly,
 // including the non-finite values encoding/json rejects: finite values use
 // the shortest decimal that parses back to the same bits, ±Inf and NaN are
@@ -127,12 +135,56 @@ type CheckpointOptions struct {
 	Every int
 	// ModelHash is stamped into every snapshot (see Checkpoint.ModelHash).
 	ModelHash string
+	// FullEvery spaces FULL snapshots among the durable writes: every
+	// FullEvery-th durable write re-serialises the whole state; the writes
+	// between append one compact delta record — only the memo-cache entries
+	// learned since the previous durable write — to the sidecar file
+	// Path+".delta". A full snapshot costs O(|Visited|) per write, so a
+	// per-commit cadence (Every = 1) on a long search rewrites an
+	// ever-growing cache every commit; with deltas the same cadence costs
+	// O(new entries), which is near-free. LoadCheckpoint replays snapshot +
+	// sidecar transparently, so resume semantics are unchanged; a torn
+	// final record (crash mid-append) is dropped, losing at most that one
+	// delta. Termination and cancellation always write a full snapshot.
+	// <= 1 means every durable write is a full snapshot and no sidecar is
+	// kept (the historical behaviour).
+	FullEvery int
 	// Aux, when non-nil, is called at snapshot time (serially, never
 	// concurrent with objective evaluations) to capture caller state.
 	Aux func() json.RawMessage
 }
 
-// LoadCheckpoint reads and validates a checkpoint file.
+// deltaHeader is the first line of a delta sidecar. BaseCommits ties the
+// records to the full snapshot they extend: a sidecar whose BaseCommits
+// does not equal the snapshot's Commits is stale (e.g. a crash landed
+// between a snapshot rename and the sidecar reset) and is ignored whole.
+type deltaHeader struct {
+	Version     int    `json:"version"`
+	Kind        string `json:"kind"`
+	ModelHash   string `json:"model_hash,omitempty"`
+	Dim         int    `json:"dim"`
+	BaseCommits int    `json:"base_commits"`
+}
+
+// deltaRecord is one appended line: the state advance of a single durable
+// write. Visited carries only the cache entries added since the previous
+// durable write; the scalar fields mirror the snapshot's for inspection.
+type deltaRecord struct {
+	Commit      int                  `json:"commit"`
+	Best        []int                `json:"best,omitempty"`
+	BestValue   JSONFloat            `json:"best_value,omitempty"`
+	Step        []int                `json:"step,omitempty"`
+	Halvings    int                  `json:"halvings,omitempty"`
+	Evaluations int                  `json:"evaluations,omitempty"`
+	Visited     map[string]JSONFloat `json:"visited,omitempty"`
+}
+
+// LoadCheckpoint reads and validates a checkpoint file, then folds in any
+// delta sidecar (path+".delta") written since the snapshot: records are
+// replayed in append order, so the returned Checkpoint is equivalent to
+// the full snapshot a FullEvery = 1 run would have written at the last
+// durable write. A stale sidecar (left by a crash, or belonging to an
+// older snapshot) is detected by its header and ignored.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -142,7 +194,81 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pattern: checkpoint %s: %w", path, err)
 	}
+	if err := cp.mergeDeltas(path + deltaSuffix); err != nil {
+		return nil, fmt.Errorf("pattern: checkpoint %s: %w", path, err)
+	}
 	return cp, nil
+}
+
+// mergeDeltas applies the sidecar at path to cp. A missing sidecar, a torn
+// header, or a header that does not match cp (different model hash or base
+// commit count — a stale file) leave cp untouched. A torn FINAL record is
+// dropped: the append protocol fsyncs line by line, so only the last line
+// can be incomplete; corruption anywhere earlier is a real error.
+func (cp *Checkpoint) mergeDeltas(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("reading delta sidecar: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	// A trailing newline (the normal case) yields one empty final element.
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	var hdr deltaHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		// Crash mid-header-write: the sidecar carries nothing yet.
+		return nil
+	}
+	if hdr.Kind != deltaKind || hdr.Version != CheckpointVersion ||
+		hdr.ModelHash != cp.ModelHash || hdr.BaseCommits != cp.Commits {
+		return nil
+	}
+	if hdr.Dim != cp.Dim {
+		return fmt.Errorf("delta sidecar dimension %d does not match snapshot dimension %d", hdr.Dim, cp.Dim)
+	}
+	if cp.Visited == nil {
+		cp.Visited = make(map[string]JSONFloat)
+	}
+	for i, line := range lines[1:] {
+		var rec deltaRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-2 {
+				return nil // torn final append — lose that one delta
+			}
+			return fmt.Errorf("delta record %d corrupt: %w", i+1, err)
+		}
+		for _, v := range [][]int{rec.Best, rec.Step} {
+			if v != nil && len(v) != cp.Dim {
+				return fmt.Errorf("delta record %d vector length %d does not match dimension %d", i+1, len(v), cp.Dim)
+			}
+		}
+		for k, v := range rec.Visited {
+			if !validPointKey(k, cp.Dim) {
+				return fmt.Errorf("delta record %d visited key %q is not a %d-dimensional lattice point", i+1, k, cp.Dim)
+			}
+			cp.Visited[k] = v
+		}
+		if rec.Commit > cp.Commits {
+			cp.Commits = rec.Commit
+			if rec.Best != nil {
+				cp.Best = rec.Best
+			}
+			cp.BestValue = rec.BestValue
+			if rec.Step != nil {
+				cp.Step = rec.Step
+			}
+			cp.Halvings = rec.Halvings
+			cp.Evaluations = rec.Evaluations
+		}
+	}
+	return nil
 }
 
 // ParseCheckpoint decodes a checkpoint and validates its internal
@@ -256,7 +382,10 @@ func (s *searcher) snapshot(done bool) *Checkpoint {
 }
 
 // writeCheckpoint persists the current state when checkpointing is
-// configured; final (termination/cancellation) writes ignore the cadence.
+// configured; final (termination/cancellation) writes ignore the cadence
+// and always produce a full snapshot. Between full snapshots (FullEvery >
+// 1), durable writes append delta records to the sidecar instead of
+// re-serialising the whole memo cache.
 func (s *searcher) writeCheckpoint(final bool) error {
 	if s.ckpt == nil {
 		return nil
@@ -268,5 +397,101 @@ func (s *searcher) writeCheckpoint(final bool) error {
 	if !final && s.commits%every != 0 {
 		return nil
 	}
-	return s.snapshot(final && s.doneOK).Save(s.ckpt.Path)
+	full := final || s.ckpt.FullEvery <= 1 || s.durables%s.ckpt.FullEvery == 0 || s.delta == nil
+	s.durables++
+	if full {
+		return s.writeFull(final)
+	}
+	return s.appendDelta()
+}
+
+// writeFull writes a full snapshot and, in delta mode, resets the sidecar
+// to extend the new snapshot (or removes it after the final write — a
+// finished checkpoint needs no deltas). The snapshot rename lands before
+// the sidecar reset, so a crash between the two leaves a sidecar whose
+// BaseCommits no longer matches — mergeDeltas ignores it.
+func (s *searcher) writeFull(final bool) error {
+	if err := s.snapshot(final && s.doneOK).Save(s.ckpt.Path); err != nil {
+		return err
+	}
+	if s.pending == nil {
+		return nil
+	}
+	clear(s.pending)
+	if final {
+		s.closeDelta()
+		os.Remove(s.ckpt.Path + deltaSuffix) // best-effort: a stale leftover is ignored at load
+		return nil
+	}
+	return s.resetDelta()
+}
+
+// resetDelta truncates (or creates) the sidecar and writes its header,
+// keeping the file handle open for subsequent appends.
+func (s *searcher) resetDelta() error {
+	s.closeDelta()
+	f, err := os.OpenFile(s.ckpt.Path+deltaSuffix, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("pattern: delta sidecar: %w", err)
+	}
+	hdr := deltaHeader{
+		Version:     CheckpointVersion,
+		Kind:        deltaKind,
+		ModelHash:   s.ckpt.ModelHash,
+		Dim:         len(s.start),
+		BaseCommits: s.commits,
+	}
+	if err := appendLine(f, hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("pattern: delta sidecar header: %w", err)
+	}
+	s.delta = f
+	return nil
+}
+
+// appendDelta appends one record carrying the cache entries learned since
+// the previous durable write. A write with nothing new (every probe of the
+// pass was a cache hit — the steady state of a resume replay) is skipped
+// entirely: Visited is the load-bearing state, and the scalar fields are
+// advisory.
+func (s *searcher) appendDelta() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	rec := deltaRecord{
+		Commit:      s.commits,
+		Best:        append([]int(nil), s.base...),
+		BestValue:   JSONFloat(s.fBase),
+		Step:        append([]int(nil), s.step...),
+		Halvings:    s.halvings,
+		Evaluations: s.result.Evaluations,
+		Visited:     s.pending,
+	}
+	if err := appendLine(s.delta, rec); err != nil {
+		return fmt.Errorf("pattern: delta append: %w", err)
+	}
+	clear(s.pending)
+	return nil
+}
+
+// appendLine marshals v, appends it to f as one newline-terminated record
+// and fsyncs, so every completed append survives a crash and only the
+// in-flight final line can ever be torn.
+func appendLine(f *os.File, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// closeDelta releases the sidecar handle; safe to call at any time.
+func (s *searcher) closeDelta() {
+	if s.delta != nil {
+		s.delta.Close()
+		s.delta = nil
+	}
 }

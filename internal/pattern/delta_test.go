@@ -1,0 +1,276 @@
+package pattern
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+var errKill = errors.New("simulated crash")
+
+// killAfter builds an objective that fails hard after n calls — unlike
+// cancellation, a hard failure writes NO final snapshot, so whatever the
+// cadence left on disk (snapshot + delta sidecar) is all a resume gets:
+// exactly the crash scenario the sidecar exists for.
+func killAfter(n int) Objective {
+	calls := 0
+	return func(x numeric.IntVector) (float64, error) {
+		calls++
+		if calls > n {
+			return 0, errKill
+		}
+		return quad2(x)
+	}
+}
+
+// deltaOptions is the per-commit durable cadence with full snapshots only
+// every 4th write — the configuration the sidecar makes near-free.
+func deltaOptions(path string) Options {
+	return Options{
+		InitialStep: numeric.IntVector{4, 4}, MaxHalvings: 3,
+		Checkpoint: &CheckpointOptions{Path: path, Every: 1, FullEvery: 4, ModelHash: "h"},
+	}
+}
+
+// TestSearchDeltaResume: crash the search at several depths with delta
+// checkpointing on, resume from snapshot+sidecar, and land on the
+// bit-identical result of the uninterrupted run at any worker count.
+func TestSearchDeltaResume(t *testing.T) {
+	start := numeric.IntVector{2, 2}
+	ref, err := Search(quad2, start, Options{InitialStep: numeric.IntVector{4, 4}, MaxHalvings: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, killAt := range []int{4, 7, 11, 15} {
+		for _, workers := range []int{1, 8} {
+			path := filepath.Join(t.TempDir(), "search.ckpt")
+			opts := deltaOptions(path)
+			if _, err := Search(killAfter(killAt), start, opts); !errors.Is(err, errKill) {
+				t.Fatalf("killAt=%d: want simulated crash, got %v", killAt, err)
+			}
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("killAt=%d: %v", killAt, err)
+			}
+			resumed := Options{InitialStep: numeric.IntVector{4, 4}, MaxHalvings: 3, Workers: workers, Resume: ck}
+			res, err := Search(quad2, start, resumed)
+			if err != nil {
+				t.Fatalf("killAt=%d workers=%d: resume: %v", killAt, workers, err)
+			}
+			if !res.Best.Equal(ref.Best) || math.Float64bits(res.BestValue) != math.Float64bits(ref.BestValue) {
+				t.Errorf("killAt=%d workers=%d: resumed best %v (%v) vs uninterrupted %v (%v)",
+					killAt, workers, res.Best, res.BestValue, ref.Best, ref.BestValue)
+			}
+			if res.Evaluations >= ref.Evaluations {
+				t.Errorf("killAt=%d workers=%d: resume made %d objective calls, uninterrupted %d — cache not replayed",
+					killAt, workers, res.Evaluations, ref.Evaluations)
+			}
+		}
+	}
+}
+
+// TestDeltaMergeMatchesFullSnapshots: the merged view of snapshot+sidecar
+// must carry the same memo cache as a run checkpointed with full snapshots
+// at every commit, crashed at the same call.
+func TestDeltaMergeMatchesFullSnapshots(t *testing.T) {
+	start := numeric.IntVector{2, 2}
+	const killAt = 11
+	deltaPath := filepath.Join(t.TempDir(), "delta.ckpt")
+	fullPath := filepath.Join(t.TempDir(), "full.ckpt")
+	if _, err := Search(killAfter(killAt), start, deltaOptions(deltaPath)); !errors.Is(err, errKill) {
+		t.Fatalf("delta run: %v", err)
+	}
+	fullOpts := deltaOptions(fullPath)
+	fullOpts.Checkpoint.FullEvery = 0 // classic: every durable write is full
+	if _, err := Search(killAfter(killAt), start, fullOpts); !errors.Is(err, errKill) {
+		t.Fatalf("full run: %v", err)
+	}
+	merged, err := LoadCheckpoint(deltaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := LoadCheckpoint(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Visited) != len(full.Visited) {
+		t.Fatalf("merged cache has %d entries, full-snapshot cache %d", len(merged.Visited), len(full.Visited))
+	}
+	for k, v := range full.Visited {
+		mv, ok := merged.Visited[k]
+		if !ok || math.Float64bits(float64(mv)) != math.Float64bits(float64(v)) {
+			t.Errorf("visited[%q]: merged %v, full %v (present %v)", k, mv, v, ok)
+		}
+	}
+	if merged.Commits != full.Commits || merged.Halvings != full.Halvings {
+		t.Errorf("merged commits/halvings %d/%d vs full %d/%d",
+			merged.Commits, merged.Halvings, full.Commits, full.Halvings)
+	}
+}
+
+// TestDeltaTornFinalLine: a crash mid-append leaves a torn last line; the
+// loader drops it (losing at most that one delta) and resume still works.
+func TestDeltaTornFinalLine(t *testing.T) {
+	start := numeric.IntVector{2, 2}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	if _, err := Search(killAfter(11), start, deltaOptions(path)); !errors.Is(err, errKill) {
+		t.Fatal("want simulated crash")
+	}
+	clean, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path+deltaSuffix, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"commit":99,"visited":{"5,`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	torn, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if len(torn.Visited) != len(clean.Visited) || torn.Commits != clean.Commits {
+		t.Errorf("torn merge %d entries / %d commits, clean %d / %d",
+			len(torn.Visited), torn.Commits, len(clean.Visited), clean.Commits)
+	}
+	// Corruption anywhere BEFORE the final line is a real error.
+	if err := os.WriteFile(path+deltaSuffix+".tmp", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path + deltaSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []byte("garbage\n")
+	// Keep the header, inject garbage, then a valid-looking record.
+	hdrEnd := 0
+	for i, b := range data {
+		if b == '\n' {
+			hdrEnd = i + 1
+			break
+		}
+	}
+	corrupt := append(append(append([]byte(nil), data[:hdrEnd]...), lines...), `{"commit":3}`+"\n"...)
+	if err := os.WriteFile(path+deltaSuffix, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("mid-file corruption accepted")
+	}
+}
+
+// TestDeltaStaleSidecarIgnored: a sidecar whose header does not extend THIS
+// snapshot (wrong base commits or model hash — e.g. left behind by a crash
+// between a snapshot rename and the sidecar reset) is ignored whole.
+func TestDeltaStaleSidecarIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ckpt")
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Kind: checkpointKind, ModelHash: "h",
+		Dim: 2, Commits: 5, Visited: map[string]JSONFloat{"1,1": 2},
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, hdr := range []string{
+		`{"version":1,"kind":"pattern-search-delta","model_hash":"h","dim":2,"base_commits":3}`,
+		`{"version":1,"kind":"pattern-search-delta","model_hash":"other","dim":2,"base_commits":5}`,
+		`{"ver`, // torn header: crash during the sidecar reset itself
+	} {
+		sidecar := hdr + "\n" + `{"commit":6,"visited":{"9,9":1}}` + "\n"
+		if err := os.WriteFile(path+deltaSuffix, []byte(sidecar), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("header %q: %v", hdr, err)
+		}
+		if _, leaked := got.Visited["9,9"]; leaked || got.Commits != 5 {
+			t.Errorf("header %q: stale sidecar applied (%d entries, %d commits)", hdr, len(got.Visited), got.Commits)
+		}
+	}
+}
+
+// TestDeltaWritesAreCheap: with FullEvery = 8 and a per-commit cadence,
+// full snapshots (the expensive writes, counted via Aux) must be a small
+// fraction of the durable writes, and a normally terminated run must leave
+// no sidecar behind.
+func TestDeltaWritesAreCheap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	fullWrites := 0
+	opts := Options{
+		// Unit steps from far away: the pattern phase crawls, committing
+		// dozens of base points on the way to (7, 12).
+		InitialStep: numeric.IntVector{1, 1}, MaxHalvings: 2,
+		Checkpoint: &CheckpointOptions{
+			Path: path, Every: 1, FullEvery: 8,
+			Aux: func() json.RawMessage { fullWrites++; return nil },
+		},
+	}
+	res, err := Search(quad2, numeric.IntVector{200, 260}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := len(res.BasePoints)
+	if commits < 8 {
+		t.Fatalf("test needs a longer trajectory, got %d commits", commits)
+	}
+	if want := commits/8 + 2; fullWrites > want {
+		t.Errorf("%d full snapshots over %d commits; want at most %d", fullWrites, commits, want)
+	}
+	if _, err := os.Stat(path + deltaSuffix); !os.IsNotExist(err) {
+		t.Errorf("sidecar left behind after normal termination (stat err %v)", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Done || !numeric.IntVector(ck.Best).Equal(res.Best) {
+		t.Errorf("final snapshot done=%v best=%v, want done best %v", ck.Done, ck.Best, res.Best)
+	}
+}
+
+// TestDeltaRoundTripValues: non-finite cache values survive the delta path
+// (the sidecar reuses the JSONFloat codec).
+func TestDeltaRoundTripValues(t *testing.T) {
+	start := numeric.IntVector{2, 2}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	calls := 0
+	spiky := func(x numeric.IntVector) (float64, error) {
+		calls++
+		if calls > 14 {
+			return 0, errKill
+		}
+		if x[0] == 6 && x[1] == 2 {
+			// The first exploratory probe from (2,2) with step (4,4):
+			// guaranteed evaluated, and cached as +Inf in a delta record.
+			return math.Inf(1), nil
+		}
+		return quad2(x)
+	}
+	opts := deltaOptions(path)
+	if _, err := Search(spiky, start, opts); !errors.Is(err, errKill) {
+		t.Fatal("want simulated crash")
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := ck.Visited["6,2"]
+	if !ok {
+		t.Skipf("trajectory never visited the spike point; visited %d points", len(ck.Visited))
+	}
+	if !math.IsInf(float64(v), 1) {
+		t.Errorf("infeasible value round-tripped to %v", float64(v))
+	}
+	_ = fmt.Sprintf("%v", v)
+}

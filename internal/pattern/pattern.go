@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 
 	"repro/internal/numeric"
@@ -164,6 +165,13 @@ type searcher struct {
 	halvings int
 	commits  int
 	doneOK   bool // set when the search terminated normally
+
+	// Delta-checkpoint state (ckpt.FullEvery > 1): cache entries learned
+	// since the last durable write, the open sidecar handle, and the count
+	// of durable writes (used to space full snapshots).
+	pending  map[string]JSONFloat
+	delta    *os.File
+	durables int
 }
 
 // future is one speculative objective evaluation in flight.
@@ -280,6 +288,9 @@ func (s *searcher) eval(x numeric.IntVector, sp *speculation) (float64, error) {
 		v = math.Inf(1)
 	}
 	s.cache[key] = v
+	if s.pending != nil {
+		s.pending[key] = JSONFloat(v)
+	}
 	return v, nil
 }
 
@@ -348,6 +359,10 @@ func Search(obj Objective, start numeric.IntVector, opts Options) (*Result, erro
 		return nil, err
 	}
 	s := &searcher{obj: obj, opts: opts, cache: make(map[string]float64), result: &Result{}, ckpt: opts.Checkpoint}
+	if s.ckpt != nil && s.ckpt.FullEvery > 1 {
+		s.pending = make(map[string]JSONFloat)
+	}
+	defer s.closeDelta()
 	if opts.Workers > 1 {
 		s.sem = make(chan struct{}, opts.Workers)
 	}
