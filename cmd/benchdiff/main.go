@@ -16,7 +16,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 
 	"repro/internal/report"
 )
@@ -93,13 +95,20 @@ func run(args []string) error {
 		Headers: []string{"Benchmark", "ns/op", "Δ%", "allocs/op", "Δ%", "evals", "Δ%", "verdict"},
 	}
 	failures := 0
+	var missing []string
+	logRatioSum, ratioCount := 0.0, 0
 	for _, b := range base.Results {
 		baseNames[b.Name] = true
 		c, ok := curByName[b.Name]
 		if !ok {
 			t.AddRow(b.Name, "-", "-", "-", "-", "-", "-", "MISSING")
 			failures++
+			missing = append(missing, b.Name)
 			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			logRatioSum += math.Log(c.NsPerOp / b.NsPerOp)
+			ratioCount++
 		}
 		verdict := "ok"
 		dTime := frac(c.NsPerOp, b.NsPerOp)
@@ -130,11 +139,22 @@ func run(args []string) error {
 	if _, err := t.WriteTo(os.Stdout); err != nil {
 		return err
 	}
-	if failures > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance (time %+.0f%%, allocs %+.0f%%, evals %+.0f%%)",
-			failures, *timeTol*100, *allocTol*100, *evalTol*100)
+	// The geometric mean of the per-benchmark ns/op ratios is the one
+	// drift number comparable across runs: 1.00x means no aggregate
+	// movement regardless of which individual benchmarks wobbled.
+	geomean := "n/a"
+	if ratioCount > 0 {
+		geomean = fmt.Sprintf("%.3fx", math.Exp(logRatioSum/float64(ratioCount)))
 	}
-	fmt.Printf("\nall %d benchmarks within tolerance\n", len(base.Results))
+	if failures > 0 {
+		if len(missing) > 0 {
+			return fmt.Errorf("%d benchmark(s) failed the gate (geomean ns/op ratio %s); baseline entries missing from the current run: %s — coverage was lost, re-run paperbench with the full suite or refresh the baseline",
+				failures, geomean, strings.Join(missing, ", "))
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance (geomean ns/op ratio %s; time %+.0f%%, allocs %+.0f%%, evals %+.0f%%)",
+			failures, geomean, *timeTol*100, *allocTol*100, *evalTol*100)
+	}
+	fmt.Printf("\nall %d benchmarks within tolerance, geomean ns/op ratio %s\n", len(base.Results), geomean)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,5 +109,52 @@ func TestBenchdiffEvalRegression(t *testing.T) {
 		{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`)
 	if err := run([]string{"-baseline", base, "-current", cur}); err == nil {
 		t.Fatal("80% more objective evaluations passed the gate")
+	}
+}
+
+func TestBenchdiffMissingNamesInError(t *testing.T) {
+	// The failure message must name the lost baseline entries so the
+	// operator knows which coverage disappeared, not just that some did.
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5}]}`)
+	err := run([]string{"-baseline", base, "-current", cur})
+	if err == nil {
+		t.Fatal("dropped benchmark passed the gate")
+	}
+	if !strings.Contains(err.Error(), "missing from the current run: B") {
+		t.Fatalf("error must name the missing benchmark: %v", err)
+	}
+	if !strings.Contains(err.Error(), "geomean") {
+		t.Fatalf("error must carry the geomean ratio: %v", err)
+	}
+}
+
+func TestBenchdiffGeomeanLine(t *testing.T) {
+	// A 0.5x, B 1.0x: the verdict line must report geomean sqrt(0.5) = 0.707x.
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", baseJSON)
+	cur := writeBench(t, dir, "cur.json", `{"go":"go1.24.0","workers":4,"results":[
+		{"name":"A","ns_per_op":500,"allocs_per_op":10,"bytes_per_op":100,"evaluations":5},
+		{"name":"B","ns_per_op":2000,"allocs_per_op":0,"bytes_per_op":0,"evaluations":0}]}`)
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	runErr := run([]string{"-baseline", base, "-current", cur})
+	wp.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("in-band diff failed: %v", runErr)
+	}
+	if !strings.Contains(string(out), "geomean ns/op ratio 0.707x") {
+		t.Fatalf("verdict line missing geomean ratio:\n%s", out)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/netmodel"
 	"repro/internal/numeric"
 	"repro/internal/topo"
 )
@@ -204,6 +205,48 @@ func runJSONBench(path string, opts core.Options) error {
 	suite[7].body = func() error {
 		_, err := exactEng.ObjectiveValue(wInside, exactSteady.Objective)
 		return err
+	}
+
+	// amva_sparse: one warm engine candidate evaluation (the dimensioning
+	// inner loop) on networks of increasing station count but fixed route
+	// lengths. With the sparse station-major solver the ns/op column grows
+	// with total route length, not station count — mesh64 vs mesh256
+	// quadruples the stations at an identical chain count.
+	sparseNets := []struct {
+		name string
+		n    *netmodel.Network
+		err  error
+	}{
+		{name: "amva_sparse/canada4", n: canada4},
+		{}, {}, {},
+	}
+	sparseNets[1].n, sparseNets[1].err = topo.Clos(12, 6, 48, topo.GenConfig{Seed: 1})
+	sparseNets[1].name = "amva_sparse/clos12x6"
+	sparseNets[2].n, sparseNets[2].err = topo.Mesh(64, 64, 48, topo.GenConfig{Seed: 1})
+	sparseNets[2].name = "amva_sparse/mesh64"
+	sparseNets[3].n, sparseNets[3].err = topo.Mesh(256, 256, 48, topo.GenConfig{Seed: 1})
+	sparseNets[3].name = "amva_sparse/mesh256"
+	for _, sn := range sparseNets {
+		if sn.err != nil {
+			return fmt.Errorf("bench %s: %w", sn.name, sn.err)
+		}
+		sparseEng, err := core.NewEngine(sn.n, serial)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sn.name, err)
+		}
+		hw := sn.n.HopVector()
+		if _, err := sparseEng.ObjectiveValue(hw, serial.Objective); err != nil {
+			return fmt.Errorf("bench %s: %w", sn.name, err)
+		}
+		sparseEng.Commit(hw) // measure the warm steady state of a search
+		suite = append(suite, struct {
+			name  string
+			evals func() (int, error)
+			body  func() error
+		}{sn.name, nil, func() error {
+			_, err := sparseEng.ObjectiveValue(hw, serial.Objective)
+			return err
+		}})
 	}
 
 	out := benchFile{

@@ -8,9 +8,15 @@
 //	windim -example canada4 -objective min-class
 //	windim -example canada2 -sweep 0.5,1,2,4
 //	windim -example canada4 -scenarios scenarios.json -robust minmax
+//	windim -topo clos:8,4,24 -reduce -search pattern
 //
-// The network comes from a JSON spec (-spec) or a built-in example
-// (-example canada2 | canada4 | tandemN). The tool prints the
+// The network comes from a JSON spec (-spec), a built-in example
+// (-example canada2 | canada4 | tandemN), or a synthetic topology
+// generator (-topo clos:L,S,C | scalefree:N,M,C | mesh:N,E,C, seeded by
+// -topo-seed; rates are scaled to 50% peak channel utilisation). -reduce
+// applies the exact model reduction — pruning channels no route uses,
+// pruning isolated nodes, merging propagation delays of channels with
+// identical using-class sets — before dimensioning. The tool prints the
 // power-optimal window vector, the performance at that point, the
 // Kleinrock hop-count baseline, and the search trace; -sweep dimensions
 // across scaled loads (a Table 4.7 for any network), -objective swaps in
@@ -67,6 +73,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("windim", flag.ContinueOnError)
 	spec := fs.String("spec", "", "JSON network spec file")
 	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
+	topoSpec := fs.String("topo", "", "generate a synthetic topology: clos:L,S,C | scalefree:N,M,C | mesh:N,E,C")
+	topoSeed := fs.Uint64("topo-seed", 1, "seed for -topo (same spec and seed, same network)")
+	reduce := fs.Bool("reduce", false, "apply exact model reduction (prune unused channels/nodes, merge same-route propagation delays) before dimensioning")
 	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
 	evaluator := fs.String("evaluator", "sigma", "candidate evaluator: sigma, schweitzer, linearizer, exact")
 	search := fs.String("search", "pattern", "optimiser: pattern, exhaustive")
@@ -97,9 +106,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, err := cliutil.LoadNetwork(*spec, *example, rateVec)
+	var n *netmodel.Network
+	if *topoSpec != "" {
+		if *spec != "" || *example != "" {
+			return fmt.Errorf("-topo is mutually exclusive with -spec and -example")
+		}
+		if rateVec != nil {
+			return fmt.Errorf("-rates does not apply to -topo (generated rates are utilisation-scaled); use -sweep to rescale loads")
+		}
+		n, err = cliutil.ParseTopo(*topoSpec, *topoSeed)
+	} else {
+		n, err = cliutil.LoadNetwork(*spec, *example, rateVec)
+	}
 	if err != nil {
 		return err
+	}
+	if *reduce {
+		reduced, red, rerr := netmodel.Reduce(n)
+		if rerr != nil {
+			return rerr
+		}
+		if red.Total() > 0 {
+			fmt.Printf("model reduction: %v\n", red)
+		}
+		n = reduced
 	}
 	opts := core.Options{
 		MaxWindow:           *maxWindow,

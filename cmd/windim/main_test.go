@@ -84,3 +84,26 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunGeneratedTopology(t *testing.T) {
+	if err := run([]string{"-topo", "clos:5,2,8", "-reduce"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-topo", "mesh:8,3,6", "-topo-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-example", "canada4", "-reduce"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-topo", "clos:5,2,8", "-example", "canada2"}, // mutually exclusive
+		{"-topo", "clos:5,2,8", "-spec", "x.json"},     // mutually exclusive
+		{"-topo", "clos:5,2,8", "-rates", "1,2"},       // rates are generated
+		{"-topo", "torus:5,2,8"},                       // unknown family
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

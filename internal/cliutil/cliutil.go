@@ -74,6 +74,46 @@ func builtin(name string) (*netmodel.Network, error) {
 	}
 }
 
+// ParseTopo generates a synthetic network from a generator spec of the
+// form "family:params":
+//
+//	clos:LEAVES,SPINES,CLASSES      leaf-spine Clos, 2-hop routes
+//	scalefree:NODES,M,CLASSES       Barabási–Albert preferential attachment
+//	mesh:NODES,EXTRA,CLASSES        ring + EXTRA random chords
+//
+// The same (spec, seed) pair always generates the identical network.
+// Class rates are scaled by the generator so the busiest channel sits at
+// 50% utilisation.
+func ParseTopo(spec string, seed uint64) (*netmodel.Network, error) {
+	family, params, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("cliutil: topo spec %q: want family:a,b,c (clos, scalefree, mesh)", spec)
+	}
+	parts := strings.Split(params, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("cliutil: topo spec %q: want exactly 3 comma-separated integers", spec)
+	}
+	args := make([]int, 3)
+	for i, p := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: topo spec %q: bad integer %q", spec, p)
+		}
+		args[i] = x
+	}
+	cfg := topo.GenConfig{Seed: seed}
+	switch family {
+	case "clos":
+		return topo.Clos(args[0], args[1], args[2], cfg)
+	case "scalefree":
+		return topo.ScaleFree(args[0], args[1], args[2], cfg)
+	case "mesh":
+		return topo.Mesh(args[0], args[1], args[2], cfg)
+	default:
+		return nil, fmt.Errorf("cliutil: unknown topology family %q (clos, scalefree, mesh)", family)
+	}
+}
+
 // ParseWindows parses a comma-separated window vector like "5,5" or
 // "1,1,1,4". An empty string returns nil (meaning: use the network's own
 // windows).

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -105,5 +106,43 @@ func TestParseRates(t *testing.T) {
 	}
 	if _, err := ParseRates("a"); err == nil {
 		t.Error("expected parse error")
+	}
+}
+
+func TestParseTopo(t *testing.T) {
+	n, err := ParseTopo("clos:6,3,12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Nodes) != 9 || len(n.Channels) != 18 || len(n.Classes) != 12 {
+		t.Fatalf("clos:6,3,12 gave %d nodes, %d channels, %d classes",
+			len(n.Nodes), len(n.Channels), len(n.Classes))
+	}
+	again, err := ParseTopo("clos:6,3,12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, again) {
+		t.Fatal("same spec and seed must generate the identical network")
+	}
+	if _, err := ParseTopo("scalefree:16,2,10", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTopo("mesh:12,5,10", 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"",                // no family
+		"clos",            // no params
+		"clos:6,3",        // too few params
+		"clos:6,3,12,9",   // too many params
+		"clos:a,3,12",     // non-integer
+		"torus:6,3,12",    // unknown family
+		"clos:1,3,12",     // generator-level validation
+		"mesh:12,9999,10", // too many chords
+	} {
+		if _, err := ParseTopo(bad, 1); err == nil {
+			t.Errorf("spec %q: expected an error", bad)
+		}
 	}
 }

@@ -35,9 +35,14 @@ import (
 // is what makes speculative-parallel exploration bit-identical to the
 // serial search.
 type Engine struct {
-	opts     Options
-	nCls     int
-	ref      *qnet.Network // prevalidated effective-closed reference model
+	opts Options
+	nCls int
+	ref  *qnet.Network // prevalidated effective-closed reference model
+	// sparse is the reference model's compiled visit-list view, built once
+	// here and passed to every approximate solve. Pooled model copies
+	// share the reference's backing arrays, so one compilation serves all
+	// borrowers (qnet.Sparse.Matches is identity-based).
+	sparse   *qnet.Sparse
 	excluded [][]int
 	useWarm  bool
 	useChain bool // resilient fallback chain on ErrNotConverged
@@ -95,6 +100,7 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		opts:     opts,
 		nCls:     nCls,
 		ref:      ref,
+		sparse:   qnet.Compile(ref),
 		excluded: excluded,
 		// The exact evaluator re-validates per call and ColdStart asks for
 		// reproductions of the legacy cold trajectory, so neither seeds
@@ -172,12 +178,14 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
+		mo.Sparse = e.sparse
 		mo.SweepBudget = budget
 		sol, err = mva.Approximate(&st.model, mo)
 	case EvalLinearizerMVA:
 		mo := e.opts.MVA
 		mo.Prevalidated = true
 		mo.Warm = warm
+		mo.Sparse = e.sparse
 		mo.SweepBudget = budget
 		sol, err = mva.Linearizer(&st.model, mo)
 	default:
@@ -186,6 +194,7 @@ func (e *Engine) solve(st *evalState, windows numeric.IntVector) (*mva.Solution,
 		mo.Prevalidated = true
 		mo.Workspace = st.ws
 		mo.Warm = warm
+		mo.Sparse = e.sparse
 		mo.SweepBudget = budget
 		sol, err = mva.Approximate(&st.model, mo)
 	}

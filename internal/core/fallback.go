@@ -94,6 +94,7 @@ func (e *Engine) solveFallback(st *evalState, warm *mva.WarmStart, primaryErr er
 	mo := e.opts.MVA
 	mo.Prevalidated = true
 	mo.Warm = warm
+	mo.Sparse = e.sparse
 	// Each tier gets a fresh watchdog allowance: the chain exists to rescue
 	// candidates the primary budget gave up on, so tiers must not inherit
 	// its already-exhausted deadline.

@@ -81,7 +81,9 @@ type Options struct {
 	// populations and throughputs carried over. Chains whose warm column
 	// is degenerate (or a seed whose dimensions do not match) fall back to
 	// the cold initialisation. The fixed point reached agrees with the
-	// cold one to within Tol, not bitwise.
+	// cold one to within Tol, not bitwise. Only queue-length mass at the
+	// chain's visited stations is used; WarmFromSolution seeds carry no
+	// mass elsewhere.
 	Warm *WarmStart
 	// Workspace, when non-nil, supplies preallocated buffers so repeated
 	// solves allocate nothing in steady state. The returned Solution then
@@ -90,6 +92,13 @@ type Options struct {
 	// are bit-identical with and without a workspace. Not safe for
 	// concurrent use.
 	Workspace *Workspace
+	// Sparse, when non-nil and compiled from this network's backing
+	// arrays (qnet.Sparse.Matches), supplies the compiled visit lists the
+	// sweeps iterate, skipping the per-call compilation. core.Engine
+	// compiles once at construction and passes it for every candidate.
+	// When nil or mismatched, the solver compiles (and, workspace-backed,
+	// caches) its own; results are identical either way.
+	Sparse *qnet.Sparse
 	// Prevalidated promises the network is already validated, supported,
 	// and free of open load (EffectiveClosed applied), skipping those
 	// per-call passes. core.Engine validates and reduces its model once at
@@ -153,6 +162,15 @@ var ErrNotConverged = errors.New("mva: approximate MVA did not converge")
 // Approximate solves the closed multichain network by the selected
 // approximate MVA. Chains with zero population contribute nothing and get
 // zero throughput.
+//
+// The fixed-point sweeps iterate the network's compiled sparse visit lists
+// (qnet.Sparse), so a sweep costs O(total route length) instead of
+// O(stations × chains); on the window flow-control models, where each
+// chain visits only its route's few stations, that is the difference
+// between per-candidate cost scaling with the network and scaling with the
+// routes. The sparse iteration visits exactly the dense loops' non-zero
+// terms in the dense loops' order, so results are bit-identical to a dense
+// evaluation.
 func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
 	if !opts.Prevalidated {
@@ -172,7 +190,8 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 		ws = NewWorkspace()
 	}
 	ws.ensure(nSt, nCh)
-	ws.reset()
+	sp := ws.compiled(net, opts.Sparse)
+	ws.reset(sp)
 
 	// Active chains: population >= 1.
 	active := ws.active
@@ -201,10 +220,10 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 			continue
 		}
 		ch := &net.Chains[r]
-		if warm != nil && seedChainFromWarm(warm, r, nSt, ch.Population, ch.Visits, q, lam) {
+		if warm != nil && seedChainFromWarm(warm, sp, r, ch.Population, q, lam) {
 			continue
 		}
-		if err := coldSeedChain(ch, r, nSt, opts.Init, q, lam); err != nil {
+		if err := coldSeedChain(ch, sp, r, opts.Init, q, lam); err != nil {
 			return nil, err
 		}
 	}
@@ -222,38 +241,47 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 					continue
 				}
 				inv := 1 / float64(net.Chains[r].Population)
-				for i := 0; i < nSt; i++ {
+				for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+					i := int(sp.EntStation[e])
 					sigma.Set(i, r, q.At(i, r)*inv)
 				}
 			}
 		default: // SigmaHeuristic
-			if err := sigmaFromSingleChains(ws, net, active, lam, sigma); err != nil {
+			if err := sigmaFromSingleChains(ws, net, sp, active, lam, sigma); err != nil {
 				return nil, err
 			}
 		}
 		// STEP 3: queue times t_ir = s_ir (1 + sum_j N_ij - sigma_ir).
+		// The per-station totals do not change within the step, so they
+		// are accumulated once per sweep from the station-major transpose
+		// (chains ascending — the dense summation order) instead of per
+		// (station, chain) pair.
+		totQ := ws.totQ
+		for i := 0; i < nSt; i++ {
+			if sp.IsIS[i] {
+				continue
+			}
+			total := 0.0
+			for m := sp.StatPtr[i]; m < sp.StatPtr[i+1]; m++ {
+				total += q.At(i, int(sp.StatChain[m]))
+			}
+			totQ[i] = total
+		}
 		for r := 0; r < nCh; r++ {
 			if !active[r] {
 				continue
 			}
-			ch := &net.Chains[r]
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] == 0 {
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				i := int(sp.EntStation[e])
+				if sp.EntIS[e] {
+					t.Set(i, r, sp.EntServ[e])
 					continue
 				}
-				if net.Stations[i].Kind == qnet.IS {
-					t.Set(i, r, ch.ServTime[i])
-					continue
-				}
-				total := 0.0
-				for j := 0; j < nCh; j++ {
-					total += q.At(i, j)
-				}
-				seen := total - sigma.At(i, r)
+				seen := totQ[i] - sigma.At(i, r)
 				if seen < 0 {
 					seen = 0
 				}
-				t.Set(i, r, ch.ServTime[i]*(1+seen))
+				t.Set(i, r, sp.EntServ[e]*(1+seen))
 			}
 		}
 		// STEP 4: Little for chains.
@@ -263,26 +291,20 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 			if !active[r] {
 				continue
 			}
-			ch := &net.Chains[r]
 			denom := 0.0
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] > 0 {
-					denom += ch.Visits[i] * t.At(i, r)
-				}
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				denom += sp.EntVisit[e] * t.At(int(sp.EntStation[e]), r)
 			}
-			lam[r] = float64(ch.Population) / denom
+			lam[r] = float64(net.Chains[r].Population) / denom
 		}
 		// STEP 5: Little for queues, with optional damping.
 		for r := 0; r < nCh; r++ {
 			if !active[r] {
 				continue
 			}
-			ch := &net.Chains[r]
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] == 0 {
-					continue
-				}
-				next := lam[r] * ch.Visits[i] * t.At(i, r)
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				i := int(sp.EntStation[e])
+				next := lam[r] * sp.EntVisit[e] * t.At(i, r)
 				q.Set(i, r, opts.Damping*next+(1-opts.Damping)*q.At(i, r))
 			}
 		}
@@ -291,8 +313,9 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 			sol.Iterations = iter
 			sol.Solver = opts.Method.String()
 			copy(sol.Throughput, lam)
-			for i := 0; i < nSt; i++ {
-				for r := 0; r < nCh; r++ {
+			for r := 0; r < nCh; r++ {
+				for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+					i := int(sp.EntStation[e])
 					sol.QueueTime.Set(i, r, t.At(i, r))
 					sol.QueueLen.Set(i, r, q.At(i, r))
 				}
@@ -309,13 +332,14 @@ func Approximate(net *qnet.Network, opts Options) (*Solution, error) {
 // program's initialisation). A chain with no positive-demand station
 // cannot be placed — the Bottleneck rule used to index q with -1 and
 // panic — so both rules reject it with a validation error.
-func coldSeedChain(ch *qnet.Chain, r, nSt int, init Initialization, q *numeric.Matrix, lam numeric.Vector) error {
+func coldSeedChain(ch *qnet.Chain, sp *qnet.Sparse, r int, init Initialization, q *numeric.Matrix, lam numeric.Vector) error {
+	lo, hi := sp.ChainPtr[r], sp.ChainPtr[r+1]
 	switch init {
 	case Bottleneck:
 		best, at := -1.0, -1
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 && ch.Demand(i) > best {
-				best, at = ch.Demand(i), i
+		for e := lo; e < hi; e++ {
+			if sp.EntDemand[e] > best {
+				best, at = sp.EntDemand[e], int(sp.EntStation[e])
 			}
 		}
 		if at < 0 {
@@ -323,27 +347,15 @@ func coldSeedChain(ch *qnet.Chain, r, nSt int, init Initialization, q *numeric.M
 		}
 		q.Set(at, r, float64(ch.Population))
 	default: // Balanced
-		cnt := 0
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 {
-				cnt++
-			}
-		}
-		if cnt == 0 {
+		if hi == lo {
 			return fmt.Errorf("mva: chain %d (%s) has no station with positive visits and demand; cannot initialise", r, ch.Name)
 		}
-		share := float64(ch.Population) / float64(cnt)
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 {
-				q.Set(i, r, share)
-			}
+		share := float64(ch.Population) / float64(hi-lo)
+		for e := lo; e < hi; e++ {
+			q.Set(int(sp.EntStation[e]), r, share)
 		}
 	}
-	d := 0.0
-	for i := 0; i < nSt; i++ {
-		d += ch.Demand(i)
-	}
-	lam[r] = float64(ch.Population) / d
+	lam[r] = float64(ch.Population) / sp.DemandSum[r]
 	return nil
 }
 
@@ -355,66 +367,55 @@ func coldSeedChain(ch *qnet.Chain, r, nSt int, init Initialization, q *numeric.M
 // σ_ij(r-) is taken as zero (eq. 4.11), which STEP 3 realises by
 // subtracting sigma only for the arriving chain.
 //
-// The recursion runs through the workspace's per-chain incremental curve
-// cache: sweeps whose inflated service times are unchanged (always true
-// for single-chain networks, whose sub-problem has no inflation) reuse the
-// cached populations instead of recomputing from 1.
-func sigmaFromSingleChains(ws *Workspace, net *qnet.Network, active []bool, lam numeric.Vector, sigma *numeric.Matrix) error {
-	nSt, nCh := net.N(), net.R()
+// The other chains' utilisation at a station is read off the station-major
+// transpose (only the chains actually visiting the station contribute, via
+// the precompiled demand array), and the recursion runs through the
+// workspace's per-chain incremental curve cache: sweeps whose inflated
+// service times are unchanged (always true for single-chain networks,
+// whose sub-problem has no inflation) reuse the cached populations instead
+// of recomputing from 1.
+func sigmaFromSingleChains(ws *Workspace, net *qnet.Network, sp *qnet.Sparse, active []bool, lam numeric.Vector, sigma *numeric.Matrix) error {
+	nCh := sp.NCh
 	const maxRho = 0.999 // clamp: transient iterates can overshoot capacity
-	visits := ws.visits
-	servInf := ws.servInf
-	isStation := ws.isStation
-	for i := 0; i < nSt; i++ {
-		isStation[i] = net.Stations[i].Kind == qnet.IS
-	}
 	for r := 0; r < nCh; r++ {
 		if !active[r] {
 			continue
 		}
-		ch := &net.Chains[r]
-		anyVisit := false
-		for i := 0; i < nSt; i++ {
-			visits[i] = ch.Visits[i]
-			servInf[i] = 0
-			if ch.Visits[i] == 0 {
-				continue
-			}
-			anyVisit = true
+		lo, hi := sp.ChainPtr[r], sp.ChainPtr[r+1]
+		deg := int(hi - lo)
+		if deg == 0 {
+			return fmt.Errorf("mva: sigma sub-problem for chain %d: chain visits no station", r)
+		}
+		servInf := ws.servInf[:deg]
+		for k, e := 0, lo; e < hi; k, e = k+1, e+1 {
 			// IS stations have a server per customer: other chains
 			// occupy them without delaying anyone, so no inflation.
-			if isStation[i] {
-				servInf[i] = ch.ServTime[i]
+			if sp.EntIS[e] {
+				servInf[k] = sp.EntServ[e]
 				continue
 			}
+			i := sp.EntStation[e]
 			other := 0.0
-			for j := 0; j < nCh; j++ {
-				if j != r {
-					other += lam[j] * net.Chains[j].Demand(i)
+			for m := sp.StatPtr[i]; m < sp.StatPtr[i+1]; m++ {
+				if j := int(sp.StatChain[m]); j != r {
+					other += lam[j] * sp.EntDemand[sp.StatEntry[m]]
 				}
 			}
 			if other > maxRho {
 				other = maxRho
 			}
-			servInf[i] = ch.ServTime[i] / (1 - other)
+			servInf[k] = sp.EntServ[e] / (1 - other)
 		}
-		if !anyVisit {
-			return fmt.Errorf("mva: sigma sub-problem for chain %d: chain visits no station", r)
-		}
-		pop := ch.Population
-		nAt, nPrev := ws.curveUpTo(r, visits, servInf, isStation, pop)
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 {
-				s := nAt[i] - nPrev[i]
-				if s < 0 {
-					s = 0
-				} else if s > 1 {
-					s = 1
-				}
-				sigma.Set(i, r, s)
-			} else {
-				sigma.Set(i, r, 0)
+		pop := net.Chains[r].Population
+		nAt, nPrev := ws.curveUpTo(r, sp, servInf, pop)
+		for k, e := 0, lo; e < hi; k, e = k+1, e+1 {
+			s := nAt[k] - nPrev[k]
+			if s < 0 {
+				s = 0
+			} else if s > 1 {
+				s = 1
 			}
+			sigma.Set(int(sp.EntStation[e]), r, s)
 		}
 	}
 	return nil

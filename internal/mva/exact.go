@@ -36,6 +36,10 @@ func ExactMultichain(net *qnet.Network) (*Solution, error) {
 		return nil, fmt.Errorf("mva: %w", err)
 	}
 	nSt, nCh := net.N(), net.R()
+	// The compiled visit lists make each lattice point cost O(total route
+	// length); compilation itself is O(N·R), invisible next to the
+	// exponential walk.
+	sp := qnet.Compile(net)
 	// totals[p*nSt + i] = total mean queue length at station i for
 	// population vector p. Only totals are needed by the recursion; the
 	// per-chain split is reconstructed at the top point.
@@ -56,37 +60,32 @@ func ExactMultichain(net *qnet.Network) (*Solution, error) {
 			if p[r] == 0 {
 				continue
 			}
-			ch := &net.Chains[r]
+			lo, hi := sp.ChainPtr[r], sp.ChainPtr[r+1]
 			prevBase := (idx - strides[r]) * nSt
 			denom := 0.0
-			for i := 0; i < nSt; i++ {
-				v := ch.Visits[i]
-				if v == 0 {
-					continue
-				}
+			for e := lo; e < hi; e++ {
+				i := int(sp.EntStation[e])
 				var ti float64
-				if net.Stations[i].Kind == qnet.IS {
-					ti = ch.ServTime[i]
+				if sp.EntIS[e] {
+					ti = sp.EntServ[e]
 				} else {
-					ti = ch.ServTime[i] * (1 + totals[prevBase+i])
+					ti = sp.EntServ[e] * (1 + totals[prevBase+i])
 				}
 				t.Set(i, r, ti)
-				denom += v * ti
+				denom += sp.EntVisit[e] * ti
 			}
 			lam := float64(p[r]) / denom
 			if idx == size-1 {
 				sol.Throughput[r] = lam
-				for i := 0; i < nSt; i++ {
-					if ch.Visits[i] > 0 {
-						sol.QueueTime.Set(i, r, t.At(i, r))
-						sol.QueueLen.Set(i, r, lam*ch.Visits[i]*t.At(i, r))
-					}
+				for e := lo; e < hi; e++ {
+					i := int(sp.EntStation[e])
+					sol.QueueTime.Set(i, r, t.At(i, r))
+					sol.QueueLen.Set(i, r, lam*sp.EntVisit[e]*t.At(i, r))
 				}
 			}
-			for i := 0; i < nSt; i++ {
-				if v := ch.Visits[i]; v > 0 {
-					totals[base+i] += lam * v * t.At(i, r)
-				}
+			for e := lo; e < hi; e++ {
+				i := int(sp.EntStation[e])
+				totals[base+i] += lam * sp.EntVisit[e] * t.At(i, r)
 			}
 		}
 		idx++

@@ -18,6 +18,11 @@ import (
 // one-removed population, updating F between sweeps. Accuracy is
 // typically an order of magnitude better than Schweitzer at the cost of
 // R+1 core solutions per sweep.
+//
+// Deviations are only ever non-zero where chain r visits station i, so F
+// is stored per station-major visit-list entry — O(route lengths × R)
+// instead of O(N·R²) — and the cores iterate the compiled visit lists the
+// same way Approximate does.
 func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
 	if !opts.Prevalidated {
@@ -36,15 +41,15 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 		return newSolution(nSt, nCh), nil
 	}
 
-	// F[i][r][j]: deviation of chain r's share at station i when one
-	// chain-j customer is removed. Initialised to zero (= Schweitzer).
-	f := make([][][]float64, nSt)
-	for i := range f {
-		f[i] = make([][]float64, nCh)
-		for r := range f[i] {
-			f[i][r] = make([]float64, nCh)
-		}
+	sp := opts.Sparse
+	if sp == nil || !sp.Matches(net) {
+		sp = qnet.Compile(net)
 	}
+
+	// f[m*nCh+j]: deviation of chain StatChain[m]'s share at entry m's
+	// station when one chain-j customer is removed. Initialised to zero
+	// (= Schweitzer).
+	f := make([]float64, len(sp.StatChain)*nCh)
 
 	// The classic schedule: three outer sweeps suffice.
 	const sweeps = 3
@@ -58,7 +63,7 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 	var full *coreResult
 	for sweep := 0; sweep < sweeps; sweep++ {
 		var err error
-		full, err = linearizerCore(net, pop, f, opts, warm)
+		full, err = linearizerCore(sp, pop, f, opts, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -72,18 +77,20 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 			}
 			pj := pop.Clone()
 			pj[j]--
-			reduced[j], err = linearizerCore(net, pj, f, opts, nil)
+			reduced[j], err = linearizerCore(sp, pj, f, opts, nil)
 			if err != nil {
 				return nil, err
 			}
 		}
 		// Update deviations.
 		for i := 0; i < nSt; i++ {
-			for r := 0; r < nCh; r++ {
+			for m := sp.StatPtr[i]; m < sp.StatPtr[i+1]; m++ {
+				r := int(sp.StatChain[m])
 				if pop[r] == 0 {
 					continue
 				}
 				yFull := full.q.At(i, r) / float64(pop[r])
+				fm := f[int(m)*nCh : int(m+1)*nCh]
 				for j := 0; j < nCh; j++ {
 					if reduced[j] == nil {
 						continue
@@ -93,10 +100,10 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 						denom--
 					}
 					if denom <= 0 {
-						f[i][r][j] = 0
+						fm[j] = 0
 						continue
 					}
-					f[i][r][j] = reduced[j].q.At(i, r)/denom - yFull
+					fm[j] = reduced[j].q.At(i, r)/denom - yFull
 				}
 			}
 		}
@@ -105,8 +112,9 @@ func Linearizer(net *qnet.Network, opts Options) (*Solution, error) {
 	sol.Iterations = full.iterations
 	sol.Solver = "linearizer"
 	copy(sol.Throughput, full.lam)
-	for i := 0; i < nSt; i++ {
-		for r := 0; r < nCh; r++ {
+	for r := 0; r < nCh; r++ {
+		for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+			i := int(sp.EntStation[e])
 			sol.QueueLen.Set(i, r, full.q.At(i, r))
 			sol.QueueTime.Set(i, r, full.t.At(i, r))
 		}
@@ -123,9 +131,9 @@ type coreResult struct {
 // linearizerCore runs the Schweitzer-with-deviations fixed point at the
 // given population: the arrival-instant estimate is
 //
-//	N_ij(pop - e_r) ≈ (pop_j - δ_jr) * (q_ij/pop_j + F[i][j][r]).
-func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, opts Options, warm *WarmStart) (*coreResult, error) {
-	nSt, nCh := net.N(), net.R()
+//	N_ij(pop - e_r) ≈ (pop_j - δ_jr) * (q_ij/pop_j + F[m(i,j)][r]).
+func linearizerCore(sp *qnet.Sparse, pop numeric.IntVector, f []float64, opts Options, warm *WarmStart) (*coreResult, error) {
+	nSt, nCh := sp.NSt, sp.NCh
 	res := &coreResult{
 		lam: numeric.NewVector(nCh),
 		q:   numeric.NewMatrix(nSt, nCh),
@@ -139,21 +147,13 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 		if pop[r] == 0 {
 			continue
 		}
-		ch := &net.Chains[r]
-		if warm != nil && seedChainFromWarm(warm, r, nSt, pop[r], ch.Visits, res.q, res.lam) {
+		if warm != nil && seedChainFromWarm(warm, sp, r, pop[r], res.q, res.lam) {
 			continue
 		}
-		cnt := 0
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 {
-				cnt++
-			}
-		}
-		share := float64(pop[r]) / float64(cnt)
-		for i := 0; i < nSt; i++ {
-			if ch.Visits[i] > 0 {
-				res.q.Set(i, r, share)
-			}
+		lo, hi := sp.ChainPtr[r], sp.ChainPtr[r+1]
+		share := float64(pop[r]) / float64(hi-lo)
+		for e := lo; e < hi; e++ {
+			res.q.Set(int(sp.EntStation[e]), r, share)
 		}
 	}
 	for iter := 1; iter <= opts.MaxIter; iter++ {
@@ -165,18 +165,16 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 			if pop[r] == 0 {
 				continue
 			}
-			ch := &net.Chains[r]
 			denom := 0.0
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] == 0 {
-					continue
-				}
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				i := int(sp.EntStation[e])
 				var ti float64
-				if net.Stations[i].Kind == qnet.IS {
-					ti = ch.ServTime[i]
+				if sp.EntIS[e] {
+					ti = sp.EntServ[e]
 				} else {
 					seen := 0.0
-					for j := 0; j < nCh; j++ {
+					for m := sp.StatPtr[i]; m < sp.StatPtr[i+1]; m++ {
+						j := int(sp.StatChain[m])
 						if pop[j] == 0 {
 							continue
 						}
@@ -187,16 +185,16 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 						if nj <= 0 {
 							continue
 						}
-						est := res.q.At(i, j)/float64(pop[j]) + f[i][j][r]
+						est := res.q.At(i, j)/float64(pop[j]) + f[int(m)*nCh+r]
 						if est < 0 {
 							est = 0
 						}
 						seen += nj * est
 					}
-					ti = ch.ServTime[i] * (1 + seen)
+					ti = sp.EntServ[e] * (1 + seen)
 				}
 				res.t.Set(i, r, ti)
-				denom += ch.Visits[i] * ti
+				denom += sp.EntVisit[e] * ti
 			}
 			res.lam[r] = float64(pop[r]) / denom
 		}
@@ -204,12 +202,10 @@ func linearizerCore(net *qnet.Network, pop numeric.IntVector, f [][][]float64, o
 			if pop[r] == 0 {
 				continue
 			}
-			ch := &net.Chains[r]
-			for i := 0; i < nSt; i++ {
-				if ch.Visits[i] > 0 {
-					next := res.lam[r] * ch.Visits[i] * res.t.At(i, r)
-					res.q.Set(i, r, opts.Damping*next+(1-opts.Damping)*res.q.At(i, r))
-				}
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				i := int(sp.EntStation[e])
+				next := res.lam[r] * sp.EntVisit[e] * res.t.At(i, r)
+				res.q.Set(i, r, opts.Damping*next+(1-opts.Damping)*res.q.At(i, r))
 			}
 		}
 		if res.lam.L2Diff(prev) < opts.Tol {

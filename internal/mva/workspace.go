@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/numeric"
+	"repro/internal/qnet"
 )
 
 // WarmStart carries a previously converged solution used to seed STEP 1 of
@@ -14,6 +15,9 @@ import (
 // structure of successive pattern-search probes, where the fixed points
 // are nearly identical and the iteration converges in a fraction of the
 // cold sweep count.
+//
+// Only mass at a chain's visited stations is read; a solver-produced seed
+// (WarmFromSolution) never carries any elsewhere.
 //
 // Warm-started results converge to the same fixed point as cold ones only
 // up to the solver tolerance; callers that need bit-deterministic values
@@ -63,15 +67,27 @@ type Workspace struct {
 	sigma  *numeric.Matrix
 	lam    numeric.Vector
 	prev   numeric.Vector
+	totQ   numeric.Vector
 
-	// σ sub-problem scratch.
-	visits    numeric.Vector
-	servInf   numeric.Vector
-	isStation []bool
-	scT       numeric.Vector
-	scZero    numeric.Vector // never written; N(0) of the recursion
+	// σ sub-problem scratch, indexed per visit-list entry (so at most nSt
+	// long per chain).
+	servInf numeric.Vector
+	scT     numeric.Vector
+	scZero  numeric.Vector // never written; N(0) of the recursion
 
 	curves []chainCurve
+
+	// compiledSp caches the sparse view Approximate compiles when the
+	// caller supplies none; keyed by backing-array identity
+	// (qnet.Sparse.Matches), so re-solving the same network — the engine
+	// hot path when no Options.Sparse is threaded through — stays
+	// allocation-free.
+	compiledSp *qnet.Sparse
+	// lastSp is the compiled view of the previous call. While it is
+	// unchanged, per-call clearing touches only the visit-list support;
+	// when it changes, everything is cleared densely and the σ curves are
+	// dropped (their cached vectors are laid out per entry).
+	lastSp *qnet.Sparse
 
 	// sol is returned by workspace-backed Approximate calls; it is valid
 	// only until the next call with the same workspace.
@@ -80,17 +96,20 @@ type Workspace struct {
 
 // chainCurve caches the exact single-chain recursion of one chain's σ
 // sub-problem (eq. 4.12): q[d-1] is the queue-length vector at population
-// d, valid for the stored inflated service times. When a sweep re-solves
-// the sub-problem with bit-identical inflated service times — every sweep
-// in a single-chain network, and the stabilised tail of any fixed point —
-// the cached prefix is reused and only missing populations are extended.
-// Extension reproduces the from-scratch recursion bit for bit, so the
-// cache is purely a time optimisation.
+// d, valid for the stored inflated service times. Vectors are indexed per
+// visit-list entry (length = the chain's route length, not the station
+// count). When a sweep re-solves the sub-problem with bit-identical
+// inflated service times — every sweep in a single-chain network, and the
+// stabilised tail of any fixed point — the cached prefix is reused and
+// only missing populations are extended. Extension reproduces the
+// from-scratch recursion bit for bit, so the cache is purely a time
+// optimisation.
 type chainCurve struct {
 	valid   bool
-	servInf numeric.Vector
-	n       int              // populations 1..n are valid
-	q       []numeric.Vector // backing buffers, reused across invalidations
+	deg     int // entry count the cached vectors are laid out for
+	servInf []float64
+	n       int         // populations 1..n are valid
+	q       [][]float64 // backing buffers, reused across invalidations
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized lazily from
@@ -110,86 +129,122 @@ func (w *Workspace) ensure(nSt, nCh int) {
 	w.sigma = numeric.NewMatrix(nSt, nCh)
 	w.lam = numeric.NewVector(nCh)
 	w.prev = numeric.NewVector(nCh)
-	w.visits = numeric.NewVector(nSt)
+	w.totQ = numeric.NewVector(nSt)
 	w.servInf = numeric.NewVector(nSt)
-	w.isStation = make([]bool, nSt)
 	w.scT = numeric.NewVector(nSt)
 	w.scZero = numeric.NewVector(nSt)
 	w.curves = make([]chainCurve, nCh)
+	w.compiledSp = nil
+	w.lastSp = nil
 	w.sol = newSolution(nSt, nCh)
 }
 
+// compiled returns the sparse view to solve with: the caller's (when it
+// matches the network's backing arrays), else the workspace's cached one,
+// else a fresh compilation that is cached for the next call.
+func (w *Workspace) compiled(net *qnet.Network, sp *qnet.Sparse) *qnet.Sparse {
+	if sp != nil && sp.Matches(net) {
+		return sp
+	}
+	if w.compiledSp != nil && w.compiledSp.Matches(net) {
+		return w.compiledSp
+	}
+	w.compiledSp = qnet.Compile(net)
+	return w.compiledSp
+}
+
 // reset clears the per-call numeric state (the curve cache survives: its
-// hits are input-keyed and bit-faithful, see chainCurve).
-func (w *Workspace) reset() {
-	w.q.Zero()
-	w.t.Zero()
+// hits are input-keyed and bit-faithful, see chainCurve). With the same
+// compiled view as the previous call, only the visit-list support is
+// cleared — everything off-support is already zero and stays zero, which
+// is what keeps the reset O(route lengths) instead of O(stations×chains).
+func (w *Workspace) reset(sp *qnet.Sparse) {
+	if sp != w.lastSp {
+		w.lastSp = sp
+		w.q.Zero()
+		w.t.Zero()
+		w.sol.QueueLen.Zero()
+		w.sol.QueueTime.Zero()
+		for r := range w.curves {
+			w.curves[r].valid = false
+		}
+	} else {
+		for r := 0; r < sp.NCh; r++ {
+			for e := sp.ChainPtr[r]; e < sp.ChainPtr[r+1]; e++ {
+				i := int(sp.EntStation[e])
+				w.q.Set(i, r, 0)
+				w.t.Set(i, r, 0)
+				w.sol.QueueLen.Set(i, r, 0)
+				w.sol.QueueTime.Set(i, r, 0)
+			}
+		}
+	}
 	w.lam.Zero()
 	w.sol.Throughput.Zero()
-	w.sol.QueueLen.Zero()
-	w.sol.QueueTime.Zero()
 	w.sol.Iterations = 0
 }
 
 // curveUpTo returns the σ sub-problem's mean queue lengths at populations
 // pop and pop-1 for chain r, extending or rebuilding the cached recursion
-// as needed. visits/servInf/isStation describe the inflated single-chain
-// problem; the returned vectors alias workspace storage.
-func (w *Workspace) curveUpTo(r int, visits, servInf numeric.Vector, isStation []bool, pop int) (nAt, nPrev numeric.Vector) {
+// as needed. servInf holds the inflated service times per visit-list entry
+// of chain r; the returned vectors are per-entry and alias workspace
+// storage.
+func (w *Workspace) curveUpTo(r int, sp *qnet.Sparse, servInf []float64, pop int) (nAt, nPrev []float64) {
 	c := &w.curves[r]
-	if !c.valid || !vectorsEqual(c.servInf, servInf) {
+	deg := len(servInf)
+	if c.deg != deg {
+		c.deg = deg
+		c.q = nil
+		c.valid = false
+	}
+	if !c.valid || !floatsEqual(c.servInf, servInf) {
 		c.valid = true
-		if c.servInf == nil {
-			c.servInf = numeric.NewVector(len(servInf))
+		if len(c.servInf) != deg {
+			c.servInf = make([]float64, deg)
 		}
 		copy(c.servInf, servInf)
 		c.n = 0
 	}
+	lo := sp.ChainPtr[r]
 	for d := c.n + 1; d <= pop; d++ {
 		if len(c.q) < d {
-			c.q = append(c.q, numeric.NewVector(w.nSt))
+			c.q = append(c.q, make([]float64, deg))
 		}
-		prev := w.scZero
+		prev := w.scZero[:deg]
 		if d > 1 {
 			prev = c.q[d-2]
 		}
 		// The exact single-chain MVA step, in ExactSingleChain's exact
 		// arithmetic order so cached and uncached runs agree bitwise.
-		t := w.scT
+		t := w.scT[:deg]
 		denom := 0.0
-		for i := range visits {
-			if visits[i] == 0 {
-				continue
-			}
-			if isStation[i] {
-				t[i] = servInf[i]
+		for k := 0; k < deg; k++ {
+			e := lo + int32(k)
+			if sp.EntIS[e] {
+				t[k] = c.servInf[k]
 			} else {
-				t[i] = servInf[i] * (1 + prev[i])
+				t[k] = c.servInf[k] * (1 + prev[k])
 			}
-			denom += visits[i] * t[i]
+			denom += sp.EntVisit[e] * t[k]
 		}
 		lam := float64(d) / denom
 		q := c.q[d-1]
-		for i := range visits {
-			if visits[i] > 0 {
-				q[i] = lam * visits[i] * t[i]
-			} else {
-				q[i] = 0
-			}
+		for k := 0; k < deg; k++ {
+			q[k] = lam * sp.EntVisit[lo+int32(k)] * t[k]
 		}
 	}
 	if pop > c.n {
 		c.n = pop
 	}
 	nAt = c.q[pop-1]
-	nPrev = w.scZero
+	nPrev = w.scZero[:deg]
 	if pop > 1 {
 		nPrev = c.q[pop-2]
 	}
 	return nAt, nPrev
 }
 
-func vectorsEqual(a, b numeric.Vector) bool {
+func floatsEqual(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -202,23 +257,24 @@ func vectorsEqual(a, b numeric.Vector) bool {
 }
 
 // seedChainFromWarm seeds chain r's STEP-1 state from a warm start,
-// rescaling the queue-length column to the chain's current population. It
-// reports false (leaving q and lam untouched) when the warm column is
-// degenerate, so the caller can fall back to the cold initialisation.
-func seedChainFromWarm(warm *WarmStart, r, nSt, pop int, visits []float64, q *numeric.Matrix, lam numeric.Vector) bool {
+// rescaling the queue-length column (its mass at the chain's visited
+// stations) to the chain's current population. It reports false (leaving
+// q and lam untouched) when the warm column is degenerate, so the caller
+// can fall back to the cold initialisation.
+func seedChainFromWarm(warm *WarmStart, sp *qnet.Sparse, r, pop int, q *numeric.Matrix, lam numeric.Vector) bool {
+	lo, hi := sp.ChainPtr[r], sp.ChainPtr[r+1]
 	colSum := 0.0
-	for i := 0; i < nSt; i++ {
-		colSum += warm.QueueLen.At(i, r)
+	for e := lo; e < hi; e++ {
+		colSum += warm.QueueLen.At(int(sp.EntStation[e]), r)
 	}
 	wl := warm.Throughput[r]
 	if !(colSum > 0) || math.IsInf(colSum, 0) || !(wl > 0) || math.IsInf(wl, 0) {
 		return false
 	}
 	scale := float64(pop) / colSum
-	for i := 0; i < nSt; i++ {
-		if visits[i] > 0 {
-			q.Set(i, r, warm.QueueLen.At(i, r)*scale)
-		}
+	for e := lo; e < hi; e++ {
+		i := int(sp.EntStation[e])
+		q.Set(i, r, warm.QueueLen.At(i, r)*scale)
 	}
 	lam[r] = wl
 	return true

@@ -1,0 +1,165 @@
+package netmodel
+
+import "fmt"
+
+// Reduction reports what Reduce removed or rewrote.
+type Reduction struct {
+	// ChannelsPruned counts channels carried by no class route. Their
+	// closed-model stations have zero visits for every chain, so removing
+	// them cannot change any chain's solution.
+	ChannelsPruned int
+	// NodesPruned counts nodes touched by no remaining channel.
+	NodesPruned int
+	// DelaysMerged counts channels whose propagation delay was folded
+	// onto another channel traversed by exactly the same class set. A
+	// route visits each channel at most once (validated), so every class
+	// in the set accumulates the identical total pure delay either way —
+	// the merge only collapses several IS stations into one.
+	DelaysMerged int
+}
+
+// Total returns the number of individual rewrites performed.
+func (r Reduction) Total() int { return r.ChannelsPruned + r.NodesPruned + r.DelaysMerged }
+
+func (r Reduction) String() string {
+	return fmt.Sprintf("pruned %d channels, %d nodes; merged %d propagation delays",
+		r.ChannelsPruned, r.NodesPruned, r.DelaysMerged)
+}
+
+// Reduce returns an equivalent network with provably exact model
+// reductions applied: channels used by no class are pruned, nodes touched
+// by no remaining channel are pruned, and positive propagation delays of
+// channels sharing an identical using-class set are accumulated onto the
+// first channel of each group. Relative channel, node, and class order is
+// preserved, so per-class results and per-channel results of surviving
+// channels are directly comparable against the original network.
+//
+// Deliberately NOT performed: collapsing chains of queueing (FCFS)
+// channels into single aggregated-demand channels. That is exact for open
+// chains but not under closed window control — a window-W class on two
+// tandem channels has strictly lower throughput than on one channel with
+// the summed demand (see DESIGN.md §10.4) — so Reduce only removes model
+// elements that contribute exactly nothing.
+//
+// When no rule applies, Reduce returns the original network pointer
+// unchanged with a zero Reduction.
+func Reduce(n *Network) (*Network, *Reduction, error) {
+	if err := n.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: reduce: %w", err)
+	}
+	red := &Reduction{}
+
+	// Using-class sets, as bitset keys for grouping.
+	words := (len(n.Classes) + 63) / 64
+	userKey := make([]string, len(n.Channels))
+	used := make([]bool, len(n.Channels))
+	{
+		sets := make([][]uint64, len(n.Channels))
+		for l := range sets {
+			sets[l] = make([]uint64, words)
+		}
+		for r, c := range n.Classes {
+			for _, l := range c.Route {
+				sets[l][r/64] |= 1 << (r % 64)
+				used[l] = true
+			}
+		}
+		buf := make([]byte, 8*words)
+		for l := range sets {
+			for w, v := range sets[l] {
+				for b := 0; b < 8; b++ {
+					buf[8*w+b] = byte(v >> (8 * b))
+				}
+			}
+			userKey[l] = string(buf)
+		}
+	}
+
+	// Rule 1: fold each group of same-user channels' propagation delays
+	// onto the group's first member. Applied before pruning so the counts
+	// refer to channels that survive.
+	newDelay := make([]float64, len(n.Channels))
+	firstOf := make(map[string]int)
+	for l, ch := range n.Channels {
+		if !used[l] || ch.PropDelay <= 0 {
+			newDelay[l] = ch.PropDelay
+			continue
+		}
+		if f, ok := firstOf[userKey[l]]; ok {
+			newDelay[f] += ch.PropDelay
+			newDelay[l] = 0
+			red.DelaysMerged++
+		} else {
+			firstOf[userKey[l]] = l
+			newDelay[l] = ch.PropDelay
+		}
+	}
+
+	// Rule 2: prune unused channels.
+	chanMap := make([]int, len(n.Channels)) // old -> new, -1 pruned
+	kept := 0
+	for l := range n.Channels {
+		if used[l] {
+			chanMap[l] = kept
+			kept++
+		} else {
+			chanMap[l] = -1
+			red.ChannelsPruned++
+		}
+	}
+
+	// Rule 3: prune nodes no surviving channel touches.
+	nodeUsed := make([]bool, len(n.Nodes))
+	for l, ch := range n.Channels {
+		if used[l] {
+			nodeUsed[ch.From] = true
+			nodeUsed[ch.To] = true
+		}
+	}
+	nodeMap := make([]int, len(n.Nodes))
+	keptNodes := 0
+	for i := range n.Nodes {
+		if nodeUsed[i] {
+			nodeMap[i] = keptNodes
+			keptNodes++
+		} else {
+			nodeMap[i] = -1
+			red.NodesPruned++
+		}
+	}
+
+	if red.Total() == 0 {
+		return n, red, nil
+	}
+
+	out := &Network{Name: n.Name}
+	out.Nodes = make([]Node, 0, keptNodes)
+	for i, nd := range n.Nodes {
+		if nodeMap[i] >= 0 {
+			out.Nodes = append(out.Nodes, nd)
+		}
+	}
+	out.Channels = make([]Channel, 0, kept)
+	for l, ch := range n.Channels {
+		if chanMap[l] < 0 {
+			continue
+		}
+		ch.From = nodeMap[ch.From]
+		ch.To = nodeMap[ch.To]
+		ch.PropDelay = newDelay[l]
+		out.Channels = append(out.Channels, ch)
+	}
+	out.Classes = make([]Class, len(n.Classes))
+	for r, c := range n.Classes {
+		route := make([]int, len(c.Route))
+		for h, l := range c.Route {
+			route[h] = chanMap[l]
+		}
+		c.Route = route
+		out.Classes[r] = c
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: reduce produced an invalid network: %w", err)
+	}
+	return out, red, nil
+}

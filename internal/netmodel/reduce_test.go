@@ -1,0 +1,175 @@
+package netmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/power"
+	"repro/internal/topo"
+)
+
+func evalMetrics(t *testing.T, n *netmodel.Network) *power.Metrics {
+	t.Helper()
+	eng, err := core.NewEngine(n, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: NewEngine: %v", n.Name, err)
+	}
+	m, err := eng.Evaluate(n.HopVector())
+	if err != nil {
+		t.Fatalf("%s: Evaluate: %v", n.Name, err)
+	}
+	return m
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func metricsClose(t *testing.T, tag string, a, b *power.Metrics, tol float64) {
+	t.Helper()
+	for r := range a.ClassThroughput {
+		if relDiff(a.ClassThroughput[r], b.ClassThroughput[r]) > tol {
+			t.Errorf("%s class %d: throughput %v vs %v", tag, r, a.ClassThroughput[r], b.ClassThroughput[r])
+		}
+		if relDiff(a.ClassDelay[r], b.ClassDelay[r]) > tol {
+			t.Errorf("%s class %d: delay %v vs %v", tag, r, a.ClassDelay[r], b.ClassDelay[r])
+		}
+	}
+	if relDiff(a.Power, b.Power) > tol {
+		t.Errorf("%s: power %v vs %v", tag, a.Power, b.Power)
+	}
+}
+
+// TestReduceNoOp: on the thesis's Canadian backbone every channel is used,
+// every node is connected, and there are no propagation delays — Reduce
+// must return the original pointer untouched.
+func TestReduceNoOp(t *testing.T) {
+	for _, n := range []*netmodel.Network{
+		topo.Canada2Class(4, 4),
+		topo.Canada4Class(2, 2, 2, 2),
+	} {
+		out, red, err := netmodel.Reduce(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if out != n {
+			t.Errorf("%s: no-op reduction must return the original network pointer", n.Name)
+		}
+		if red.Total() != 0 {
+			t.Errorf("%s: expected zero reduction, got %v", n.Name, red)
+		}
+	}
+}
+
+// TestReducePruneExactOnCanada: canada4 padded with unused channels and an
+// isolated node must reduce back to a model whose per-class solution is
+// bit-identical — the pruned stations carried zero closed-chain visits.
+func TestReducePruneExactOnCanada(t *testing.T) {
+	n := topo.Canada4Class(2, 2, 2, 2)
+	base := evalMetrics(t, n)
+
+	aug := &netmodel.Network{Name: n.Name + "+junk"}
+	aug.Nodes = append(append([]netmodel.Node{}, n.Nodes...), netmodel.Node{Name: "isolated"})
+	aug.Channels = append(append([]netmodel.Channel{}, n.Channels...),
+		netmodel.Channel{Name: "junk1", From: 0, To: 2, Capacity: 50_000},
+		netmodel.Channel{Name: "junk2", From: 1, To: len(n.Nodes), Capacity: 50_000},
+	)
+	aug.Classes = n.Classes
+
+	reduced, red, err := netmodel.Reduce(aug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.ChannelsPruned != 2 || red.NodesPruned != 1 || red.DelaysMerged != 0 {
+		t.Fatalf("reduction %v, want 2 channels + 1 node pruned", red)
+	}
+	if len(reduced.Channels) != len(n.Channels) || len(reduced.Nodes) != len(n.Nodes) {
+		t.Fatalf("reduced to %d channels/%d nodes, want %d/%d",
+			len(reduced.Channels), len(reduced.Nodes), len(n.Channels), len(n.Nodes))
+	}
+	for l := range reduced.Channels {
+		if reduced.Channels[l].Name != n.Channels[l].Name {
+			t.Fatalf("channel order not preserved: %d is %q, want %q",
+				l, reduced.Channels[l].Name, n.Channels[l].Name)
+		}
+	}
+	got := evalMetrics(t, reduced)
+	metricsClose(t, "canada4 pruned", base, got, 0) // exactly equal
+}
+
+// TestReduceDelayMerge: on a tandem all channels carry the same single
+// class, so all propagation delays fold onto the first channel; the total
+// pure delay per class is unchanged and the solution agrees to rounding.
+func TestReduceDelayMerge(t *testing.T) {
+	n, err := topo.Tandem(4, 50_000, 8, topo.MessageLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range n.Channels {
+		n.Channels[l].PropDelay = 0.01 * float64(l+1)
+	}
+	base := evalMetrics(t, n)
+
+	reduced, red, err := netmodel.Reduce(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.DelaysMerged != 3 || red.ChannelsPruned != 0 || red.NodesPruned != 0 {
+		t.Fatalf("reduction %v, want 3 delays merged", red)
+	}
+	wantSum := 0.01 * (1 + 2 + 3 + 4)
+	if relDiff(reduced.Channels[0].PropDelay, wantSum) > 1e-15 {
+		t.Fatalf("merged delay %v, want %v", reduced.Channels[0].PropDelay, wantSum)
+	}
+	for l := 1; l < len(reduced.Channels); l++ {
+		if reduced.Channels[l].PropDelay != 0 {
+			t.Fatalf("channel %d delay %v, want 0 after merge", l, reduced.Channels[l].PropDelay)
+		}
+	}
+	got := evalMetrics(t, reduced)
+	// Summing delays before vs after the solve reassociates floating-point
+	// additions; agreement is to rounding, not bitwise.
+	metricsClose(t, "tandem merged", base, got, 1e-9)
+}
+
+// TestReduceGeneratedMesh: generated topologies with random unused
+// channels spliced in reduce to networks solving identically.
+func TestReduceGeneratedMesh(t *testing.T) {
+	n, err := topo.Mesh(10, 4, 8, topo.GenConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := evalMetrics(t, n)
+	aug := &netmodel.Network{Name: n.Name, Nodes: n.Nodes, Classes: n.Classes}
+	aug.Channels = append(append([]netmodel.Channel{}, n.Channels...),
+		netmodel.Channel{Name: "spare", From: 0, To: 5, Capacity: 50_000})
+	reduced, red, err := netmodel.Reduce(aug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spare channel plus any generated channels off every shortest
+	// path are pruned together.
+	if red.ChannelsPruned < 1 {
+		t.Fatalf("reduction %v, want at least the spare channel pruned", red)
+	}
+	for _, ch := range reduced.Channels {
+		if ch.Name == "spare" {
+			t.Fatal("spare channel survived reduction")
+		}
+	}
+	metricsClose(t, "mesh pruned", base, evalMetrics(t, reduced), 0)
+}
+
+// TestReduceInvalid: Reduce validates its input.
+func TestReduceInvalid(t *testing.T) {
+	bad := &netmodel.Network{Name: "bad", Nodes: []netmodel.Node{{Name: "a"}}}
+	bad.Channels = []netmodel.Channel{{Name: "loop", From: 0, To: 0, Capacity: 1}}
+	if _, _, err := netmodel.Reduce(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,183 @@
+package topo_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/topo"
+)
+
+// generators enumerates the three families at small, solver-friendly
+// scale; every property test below runs over all of them.
+func generators(seed uint64) map[string]func() (*netmodel.Network, error) {
+	cfg := topo.GenConfig{Seed: seed}
+	return map[string]func() (*netmodel.Network, error){
+		"clos":      func() (*netmodel.Network, error) { return topo.Clos(6, 3, 12, cfg) },
+		"scalefree": func() (*netmodel.Network, error) { return topo.ScaleFree(16, 2, 10, cfg) },
+		"mesh":      func() (*netmodel.Network, error) { return topo.Mesh(12, 5, 10, cfg) },
+	}
+}
+
+// TestGenerateDeterministic: a fixed (generator, parameters, seed) triple
+// must reproduce the identical network, and a different seed must not.
+func TestGenerateDeterministic(t *testing.T) {
+	for name, gen := range generators(42) {
+		a, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different networks", name)
+		}
+		c, err := generators(43)[name]()
+		if err != nil {
+			t.Fatalf("%s seed 43: %v", name, err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical networks", name)
+		}
+	}
+}
+
+// TestGenerateCounts: node, channel, and class counts must match the spec
+// arithmetic of each family.
+func TestGenerateCounts(t *testing.T) {
+	clos, err := topo.Clos(6, 3, 12, topo.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clos.Nodes) != 9 || len(clos.Channels) != 18 || len(clos.Classes) != 12 {
+		t.Errorf("clos: %d nodes, %d channels, %d classes; want 9/18/12",
+			len(clos.Nodes), len(clos.Channels), len(clos.Classes))
+	}
+	for r := range clos.Classes {
+		if clos.Hops(r) != 2 {
+			t.Errorf("clos class %d: %d hops, want 2 (leaf-spine-leaf)", r, clos.Hops(r))
+		}
+	}
+
+	sf, err := topo.ScaleFree(16, 2, 10, topo.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (m+1)-clique then m edges per remaining node.
+	wantCh := 2*3/2 + (16-3)*2
+	if len(sf.Nodes) != 16 || len(sf.Channels) != wantCh || len(sf.Classes) != 10 {
+		t.Errorf("scalefree: %d nodes, %d channels, %d classes; want 16/%d/10",
+			len(sf.Nodes), len(sf.Channels), len(sf.Classes), wantCh)
+	}
+
+	mesh, err := topo.Mesh(12, 5, 10, topo.GenConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mesh.Nodes) != 12 || len(mesh.Channels) != 17 || len(mesh.Classes) != 10 {
+		t.Errorf("mesh: %d nodes, %d channels, %d classes; want 12/17/10",
+			len(mesh.Nodes), len(mesh.Channels), len(mesh.Classes))
+	}
+}
+
+// TestGenerateValidAndLoaded: every generated network must pass the full
+// netmodel validation, and the uniform rate scaling must put the busiest
+// channel exactly at the configured peak utilisation.
+func TestGenerateValidAndLoaded(t *testing.T) {
+	for name, gen := range generators(7) {
+		n, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: generated network fails validation: %v", name, err)
+			continue
+		}
+		util := make([]float64, len(n.Channels))
+		peak := 0.0
+		for _, c := range n.Classes {
+			for _, l := range c.Route {
+				util[l] += c.Rate * c.MeanLength / n.Channels[l].Capacity
+				if util[l] > peak {
+					peak = util[l]
+				}
+			}
+		}
+		if math.Abs(peak-0.5) > 1e-12 {
+			t.Errorf("%s: peak channel utilisation %v, want 0.5", name, peak)
+		}
+	}
+}
+
+// TestGenerateSolvesWithoutFallback: at small scale the generated networks
+// must be directly solvable — the engine's primary AMVA evaluator converges
+// at the hop-count window vector without touching the fallback chain.
+func TestGenerateSolvesWithoutFallback(t *testing.T) {
+	for name, gen := range generators(11) {
+		n, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eng, err := core.NewEngine(n, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: NewEngine: %v", name, err)
+		}
+		if _, err := eng.Evaluate(n.HopVector()); err != nil {
+			t.Fatalf("%s: evaluate at hop windows: %v", name, err)
+		}
+		if r := eng.FallbackCounts().Rescued(); r != 0 {
+			t.Errorf("%s: %d evaluations needed the fallback chain", name, r)
+		}
+	}
+}
+
+// TestGenerateArgumentErrors: out-of-range specs must be rejected with
+// errors, not panics or degenerate networks.
+func TestGenerateArgumentErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() (*netmodel.Network, error)
+	}{
+		{"clos leaves", func() (*netmodel.Network, error) { return topo.Clos(1, 3, 4, topo.GenConfig{}) }},
+		{"clos classes", func() (*netmodel.Network, error) { return topo.Clos(4, 3, 0, topo.GenConfig{}) }},
+		{"scalefree m", func() (*netmodel.Network, error) { return topo.ScaleFree(10, 0, 4, topo.GenConfig{}) }},
+		{"scalefree nodes", func() (*netmodel.Network, error) { return topo.ScaleFree(3, 2, 4, topo.GenConfig{}) }},
+		{"mesh nodes", func() (*netmodel.Network, error) { return topo.Mesh(2, 0, 4, topo.GenConfig{}) }},
+		{"mesh extra", func() (*netmodel.Network, error) { return topo.Mesh(6, 100, 4, topo.GenConfig{}) }},
+	}
+	for _, c := range cases {
+		if _, err := c.f(); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+// TestGenerateScales is a smoke check that the generators handle the
+// paperbench scale — hundreds of stations, dozens of chains — and still
+// validate.
+func TestGenerateScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-topology generation in -short mode")
+	}
+	n, err := topo.Clos(12, 6, 48, topo.GenConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Channels) != 72 || len(n.Classes) != 48 {
+		t.Fatalf("clos(12,6,48): %d channels, %d classes", len(n.Channels), len(n.Classes))
+	}
+	m, err := topo.Mesh(64, 64, 96, topo.GenConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
