@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/cliutil"
 	"repro/internal/netmodel"
@@ -105,7 +107,10 @@ func run(args []string) error {
 			cfg.NodeBuffers[i] = *buffers
 		}
 	}
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM cancels the batch; completed replications are still
+	// reported below. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

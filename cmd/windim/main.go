@@ -55,6 +55,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -144,11 +146,17 @@ func run(args []string) error {
 		DegradeAfter:        *degradeAfter,
 		MinScenarios:        *minScenarios,
 	}
+	// Ctrl-C (and a service manager's SIGTERM) cancels the search instead
+	// of killing the process: the best-so-far windows are reported and any
+	// -checkpoint file stays resumable. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		opts.Context = ctx
 	}
+	opts.Context = ctx
 	switch *evaluator {
 	case "sigma":
 		opts.Evaluator = core.EvalSigmaMVA

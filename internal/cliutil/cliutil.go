@@ -54,6 +54,14 @@ func LoadNetwork(specPath, example string, rates []float64) (*netmodel.Network, 
 	return n, nil
 }
 
+// BuiltinExample returns the named built-in example network — the same
+// names LoadNetwork resolves for -example, exposed for callers (the
+// windimd job parser) whose network reference arrives embedded in a
+// request instead of on a command line.
+func BuiltinExample(name string) (*netmodel.Network, error) {
+	return builtin(name)
+}
+
 func builtin(name string) (*netmodel.Network, error) {
 	switch {
 	case name == "canada2":

@@ -137,6 +137,26 @@ func (e *Engine) Size() int {
 	return e.lat.s.size
 }
 
+// MemoryBytes reports the engine's retained lattice memory: every
+// materialised float array (prefix/suffix chains, capacity coefficients,
+// doubled and leave-one-out convolutions) plus the plane index. Callers
+// budgeting a shared oracle cache (core.OracleCache) poll this after
+// queries, since EnsureBox grows the footprint lazily.
+func (e *Engine) MemoryBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var n int64
+	for _, plane := range e.lat.planes {
+		n += int64(len(plane)) * 4
+	}
+	for _, group := range [][]scaled{e.lat.prefix, e.lat.suffix, e.lat.c, e.lat.gPlus, e.lat.gMinus} {
+		for i := range group {
+			n += int64(len(group[i].v)) * 8
+		}
+	}
+	return n
+}
+
 // EnsureBox grows the bounding box to cover h (elementwise maximum with
 // the current box). Growth is incremental: retained arrays are remapped
 // and only the new lattice region is computed. On any numerical trouble

@@ -10,6 +10,13 @@ import (
 	"repro/internal/pattern"
 )
 
+// ErrResume marks a rejected Options.ResumePath: the checkpoint file is
+// missing, unreadable, corrupt, or was written for a different model or
+// options. Callers that manage checkpoints themselves (the windimd
+// service) detect it with errors.Is, discard the stale file and restart
+// the search fresh instead of failing the job.
+var ErrResume = errors.New("core: resume rejected")
+
 // modelHash fingerprints everything a checkpoint's cached objective values
 // and replayed trajectory depend on: the network spec, evaluator,
 // objective, search box and start, solver tuning and — for robust runs —
@@ -80,11 +87,11 @@ func searchCheckpointing(n *netmodel.Network, opts Options, scenarios []Scenario
 	if opts.ResumePath != "" {
 		resume, err = pattern.LoadCheckpoint(opts.ResumePath)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: resume: %w", err)
+			return nil, nil, fmt.Errorf("%w: %w", ErrResume, err)
 		}
 		if resume.ModelHash != hash {
-			return nil, nil, fmt.Errorf("core: checkpoint %s was written for a different model or options (hash %.12s…, this run is %.12s…)",
-				opts.ResumePath, resume.ModelHash, hash)
+			return nil, nil, fmt.Errorf("%w: checkpoint %s was written for a different model or options (hash %.12s…, this run is %.12s…)",
+				ErrResume, opts.ResumePath, resume.ModelHash, hash)
 		}
 	}
 	return ckpt, resume, nil

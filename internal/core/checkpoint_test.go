@@ -19,7 +19,7 @@ func cancelAfterCommits(n int, opts *Options) {
 	ctx, cancel := context.WithCancel(context.Background())
 	commits := 0
 	opts.Context = ctx
-	opts.onCommit = func(numeric.IntVector, float64) {
+	opts.OnCommit = func(numeric.IntVector, float64) {
 		commits++
 		if commits >= n {
 			cancel()
@@ -121,8 +121,8 @@ func TestDimensionCheckpointFullEvery(t *testing.T) {
 	opts.CheckpointPath = path
 	sidecarSeen := false
 	cancelAfterCommits(2, &opts)
-	inner := opts.onCommit
-	opts.onCommit = func(x numeric.IntVector, fx float64) {
+	inner := opts.OnCommit
+	opts.OnCommit = func(x numeric.IntVector, fx float64) {
 		if _, err := os.Stat(path + ".delta"); err == nil {
 			sidecarSeen = true
 		}

@@ -2,9 +2,17 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrQuorum marks a DimensionRobust abort caused by scenario degradation
+// falling below the MinScenarios quorum. Watchdog trips or instability on
+// one deployment's solver load often clear on a retry, so the windimd
+// service classifies quorum aborts as transient and retries the job with
+// backoff.
+var ErrQuorum = errors.New("core: scenario quorum violated")
 
 // DegradedScenario records one scenario excluded from a DimensionRobust
 // run: which it was and why. Degraded scenarios stop contributing to the
@@ -73,8 +81,8 @@ func (h *scenarioHealth) degradeLocked(i int, reason string) error {
 		return nil
 	}
 	if h.nActive-1 < h.quorum {
-		return fmt.Errorf("core: scenario %q failed (%s) and degrading it would leave %d active scenarios, below the quorum of %d",
-			h.names[i], reason, h.nActive-1, h.quorum)
+		return fmt.Errorf("%w: scenario %q failed (%s) and degrading it would leave %d active scenarios, below the quorum of %d",
+			ErrQuorum, h.names[i], reason, h.nActive-1, h.quorum)
 	}
 	h.active[i] = false
 	h.reasons[i] = reason

@@ -116,9 +116,9 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		e.dog = newWatchdog(opts.EvalTimeout)
 	}
 	if opts.ExactEngine {
-		cache := opts.exactCache
+		cache := opts.Oracles
 		if cache == nil {
-			cache = newExactCache()
+			cache = NewOracleCache(0)
 		}
 		e.conv = cache.oracleFor(ref, opts.Workers)
 	}

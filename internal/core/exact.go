@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/convolution"
 	"repro/internal/mva"
+	"repro/internal/netmodel"
 	"repro/internal/numeric"
 	"repro/internal/qnet"
 )
@@ -137,27 +139,172 @@ func meansSolution(m *convolution.Means, model *qnet.Network) *mva.Solution {
 	return sol
 }
 
-// exactCache shares convolution oracles across Engines keyed by the
-// population-independent structure of their reference networks, so the
-// per-scenario engines of one DimensionRobust run reuse a single lattice
-// wherever scenarios leave the model structure unchanged.
-type exactCache struct {
-	mu sync.Mutex
-	m  map[string]*convOracle
+// memoryBytes reports the oracle's retained lattice memory (0 until the
+// first candidate builds the shared engine, or after construction failed).
+func (o *convOracle) memoryBytes() int64 {
+	o.mu.Lock()
+	eng := o.eng
+	o.mu.Unlock()
+	if eng == nil {
+		return 0
+	}
+	return eng.MemoryBytes()
 }
 
-func newExactCache() *exactCache { return &exactCache{m: map[string]*convOracle{}} }
+// OracleCache shares convolution oracles across Engines keyed by the
+// population-independent structure of their reference networks, so the
+// per-scenario engines of one DimensionRobust run — and, in the windimd
+// service, concurrent jobs over the same network — reuse a single lattice
+// wherever the model structure matches.
+//
+// The cache is also the unit of memory accounting for multi-tenant
+// admission control: Bytes sums the retained lattice memory of every
+// cached oracle, and EvictTo drops least-recently-used oracles until the
+// total fits a target. Eviction is always safe — an Engine holding an
+// evicted oracle keeps using it (the lattice is rebuildable state derived
+// from the network alone); eviction only prevents NEW engines from sharing
+// it, so the memory is reclaimed when the last holder finishes.
+type OracleCache struct {
+	mu        sync.Mutex
+	budget    int64
+	seq       int64
+	m         map[string]*oracleEntry
+	evictions int64
+}
 
-func (c *exactCache) oracleFor(ref *qnet.Network, workers int) *convOracle {
+type oracleEntry struct {
+	oracle *convOracle
+	last   int64 // recency: cache sequence at last oracleFor hit
+}
+
+// NewOracleCache builds a cache with the given memory budget in bytes;
+// budget <= 0 means unbounded (the DimensionRobust default). The budget is
+// advisory — the cache never refuses an oracle — callers enforce it by
+// calling EvictTo/TrimToBudget at admission and completion points.
+func NewOracleCache(budgetBytes int64) *OracleCache {
+	return &OracleCache{budget: budgetBytes, m: map[string]*oracleEntry{}}
+}
+
+// Budget returns the configured memory budget (<= 0: unbounded).
+func (c *OracleCache) Budget() int64 { return c.budget }
+
+// OracleCacheStats is a point-in-time occupancy snapshot.
+type OracleCacheStats struct {
+	// Oracles is the number of cached oracles (including not-yet-built
+	// ones whose lattices are still empty).
+	Oracles int `json:"oracles"`
+	// Bytes is the summed retained lattice memory of the cached oracles.
+	Bytes int64 `json:"bytes"`
+	// Evictions counts oracles dropped by EvictTo since construction.
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats reports cache occupancy for /stats-style introspection.
+func (c *OracleCache) Stats() OracleCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := OracleCacheStats{Oracles: len(c.m), Evictions: c.evictions}
+	for _, e := range c.m {
+		s.Bytes += e.oracle.memoryBytes()
+	}
+	return s
+}
+
+// EvictTo drops least-recently-used oracles until the cache's retained
+// bytes are at most target (target <= 0 empties the cache entirely) and
+// returns the bytes freed. Oracles still referenced by running engines
+// survive in those engines; only the shared map entry is dropped.
+func (c *OracleCache) EvictTo(target int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type sized struct {
+		key   string
+		last  int64
+		bytes int64
+	}
+	entries := make([]sized, 0, len(c.m))
+	var total int64
+	for k, e := range c.m {
+		b := e.oracle.memoryBytes()
+		entries = append(entries, sized{key: k, last: e.last, bytes: b})
+		total += b
+	}
+	if total <= target {
+		return 0
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].last < entries[j].last })
+	var freed int64
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		delete(c.m, e.key)
+		c.evictions++
+		total -= e.bytes
+		freed += e.bytes
+	}
+	return freed
+}
+
+// TrimToBudget evicts down to the configured budget (a no-op when the
+// cache is unbounded) and returns the bytes freed.
+func (c *OracleCache) TrimToBudget() int64 {
+	if c.budget <= 0 {
+		return 0
+	}
+	return c.EvictTo(c.budget)
+}
+
+func (c *OracleCache) oracleFor(ref *qnet.Network, workers int) *convOracle {
 	key := networkKey(ref)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if o, ok := c.m[key]; ok {
-		return o
+	c.seq++
+	if e, ok := c.m[key]; ok {
+		e.last = c.seq
+		return e.oracle
 	}
 	o := newConvOracle(ref, workers)
-	c.m[key] = o
+	c.m[key] = &oracleEntry{oracle: o, last: c.seq}
 	return o
+}
+
+// EstimateOracleBytes conservatively estimates the lattice memory a
+// convolution oracle for network n would retain if a search explored
+// windows up to maxWindow per class — the admission-control gate the
+// windimd service applies before letting an ExactEngine job near the
+// shared cache. The estimate is the box's lattice point count (capped by
+// the engine's own build budget, which the oracle never exceeds) times the
+// per-point cost of the materialised arrays: prefix and suffix chains
+// (stations+1 each) plus the doubled and leave-one-out convolutions
+// (at most 2·stations), all float64.
+func EstimateOracleBytes(n *netmodel.Network, maxWindow int) (int64, error) {
+	if maxWindow <= 0 {
+		maxWindow = 64
+	}
+	ones := numeric.NewIntVector(len(n.Classes))
+	for i := range ones {
+		ones[i] = 1
+	}
+	model, _, err := n.ClosedModel(ones)
+	if err != nil {
+		return 0, err
+	}
+	closed := model.EffectiveClosed()
+	points := 1
+	for range closed.Chains {
+		if points > convolution.DefaultEngineBudget/(maxWindow+1) {
+			points = convolution.DefaultEngineBudget
+			break
+		}
+		points *= maxWindow + 1
+	}
+	if points > convolution.DefaultEngineBudget {
+		points = convolution.DefaultEngineBudget
+	}
+	stations := closed.N()
+	perPoint := int64(8 * (2*(stations+1) + 2*stations))
+	return int64(points) * perPoint, nil
 }
 
 // networkKey fingerprints everything the convolution lattice depends on

@@ -162,10 +162,10 @@ func TestExactEngineRobustSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache := newExactCache()
+	cache := NewOracleCache(0)
 	withEngine := base
 	withEngine.ExactEngine = true
-	withEngine.exactCache = cache
+	withEngine.Oracles = cache
 	re, err := DimensionRobust(n, scenarios, RobustMinimax, withEngine)
 	if err != nil {
 		t.Fatal(err)

@@ -133,10 +133,10 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 	if opts.MinScenarios > len(scenarios) {
 		return nil, fmt.Errorf("core: quorum of %d exceeds the %d scenarios given", opts.MinScenarios, len(scenarios))
 	}
-	if opts.ExactEngine && opts.exactCache == nil {
+	if opts.ExactEngine && opts.Oracles == nil {
 		// One oracle cache for the whole run: scenario engines whose
 		// perturbed models share a structure share a convolution lattice.
-		opts.exactCache = newExactCache()
+		opts.Oracles = NewOracleCache(0)
 	}
 	weights := robustWeights(scenarios)
 	perturbed := make([]*netmodel.Network, len(scenarios))
@@ -266,7 +266,7 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 			Checkpoint:  ckptOpts,
 			Resume:      resume,
 		}
-		if engines[0].useWarm || opts.onCommit != nil {
+		if engines[0].useWarm || opts.OnCommit != nil {
 			popts.OnCommit = func(x numeric.IntVector, fx float64) {
 				if engines[0].useWarm {
 					// Degraded engines skip the warm re-seed: they answer no
@@ -277,8 +277,8 @@ func DimensionRobust(n *netmodel.Network, scenarios []Scenario, kind RobustKind,
 						}
 					}
 				}
-				if opts.onCommit != nil {
-					opts.onCommit(x, fx)
+				if opts.OnCommit != nil {
+					opts.OnCommit(x, fx)
 				}
 			}
 		}

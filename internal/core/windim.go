@@ -253,14 +253,20 @@ type Options struct {
 	// means 1.
 	MinScenarios int
 
-	// onCommit, when non-nil, runs after every committed base point of the
-	// pattern search (after warm-seed promotion). Test hook: lets the
-	// checkpoint tests cancel a run after exactly K commits.
-	onCommit func(x numeric.IntVector, fx float64)
-	// exactCache, when non-nil, shares convolution oracles across the
-	// engines built from these options: DimensionRobust sets it so
-	// scenarios with identical station/chain structure reuse one lattice.
-	exactCache *exactCache
+	// OnCommit, when non-nil, runs serially after every committed base
+	// point of the pattern search (after warm-seed promotion), with the
+	// accepted window vector and its objective value (1/power under the
+	// chosen criterion). This is the progress stream of a long search: the
+	// windimd service forwards each commit to its job event feed, and the
+	// checkpoint tests use it to cancel a run after exactly K commits.
+	OnCommit func(x numeric.IntVector, fx float64)
+	// Oracles, when non-nil, shares convolution oracles across the engines
+	// built from these options: DimensionRobust sets it so scenarios with
+	// identical station/chain structure reuse one lattice, and the windimd
+	// service passes one budgeted cache to every job so concurrent
+	// searches over the same network share lattices under a global memory
+	// budget. Nil with ExactEngine set builds a private unbounded cache.
+	Oracles *OracleCache
 }
 
 // Result is the outcome of a WINDIM run.
@@ -433,13 +439,13 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 			Checkpoint:  ckptOpts,
 			Resume:      resume,
 		}
-		if eng.useWarm || opts.onCommit != nil {
+		if eng.useWarm || opts.OnCommit != nil {
 			popts.OnCommit = func(x numeric.IntVector, fx float64) {
 				if eng.useWarm {
 					eng.Commit(x)
 				}
-				if opts.onCommit != nil {
-					opts.onCommit(x, fx)
+				if opts.OnCommit != nil {
+					opts.OnCommit(x, fx)
 				}
 			}
 		}

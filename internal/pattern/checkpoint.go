@@ -91,8 +91,8 @@ func (f *JSONFloat) UnmarshalJSON(b []byte) error {
 // uninterrupted run at any worker count. Best, Step and the counters are
 // recorded for inspection and sanity checks, not for control flow.
 type Checkpoint struct {
-	Version   int    `json:"version"`
-	Kind      string `json:"kind"`
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
 	// ModelHash identifies the (network, options) pair the cached values
 	// were computed for; resuming against a different model is rejected by
 	// core before any stale value can poison a search.
@@ -350,7 +350,28 @@ func (cp *Checkpoint) Save(path string) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("pattern: publish checkpoint: %w", err)
 	}
+	// The rename is durable only once the directory entry is: without the
+	// directory sync a crash immediately after Save can roll the file back
+	// to the previous checkpoint — or, for a first write, to nothing.
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("pattern: sync checkpoint directory: %w", err)
+	}
 	return nil
+}
+
+// SyncDir fsyncs a directory, making previously renamed or created entries
+// in it durable. Shared with the windimd job journal, which uses the same
+// temp+fsync+rename+dirsync protocol for its spool records.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // snapshot builds the current checkpoint state. Called only from commit
@@ -444,6 +465,12 @@ func (s *searcher) resetDelta() error {
 	if err := appendLine(f, hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("pattern: delta sidecar header: %w", err)
+	}
+	// Appends fsync the file, but a freshly created sidecar also needs its
+	// directory entry made durable, or a crash loses the whole file.
+	if err := SyncDir(filepath.Dir(s.ckpt.Path)); err != nil {
+		f.Close()
+		return fmt.Errorf("pattern: sync delta sidecar directory: %w", err)
 	}
 	s.delta = f
 	return nil

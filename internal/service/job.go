@@ -1,0 +1,286 @@
+// Package service implements windimd: a crash-safe, multi-tenant
+// dimensioning daemon around the WINDIM machinery in internal/core.
+//
+// A job is a network (inline spec, built-in example, or synthetic
+// topology), an optional scenario set, and search options, submitted as
+// JSON over HTTP. Jobs run on a bounded worker pool with admission
+// control (queue depth, a global convolution-oracle memory budget with
+// LRU eviction), per-job fault containment (context deadlines, the
+// per-candidate watchdog, panic recovery, retries with exponential
+// backoff), and a crash-safe journal: every job persists as an fsynced
+// record in a spool directory next to its pattern-search checkpoint, so
+// a killed daemon resumes interrupted jobs on restart and converges to
+// the bit-identical result an uninterrupted run would have produced.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+)
+
+// maxSpecBytes bounds a job submission; a dimensioning request is a few
+// KB of topology and scenarios, never megabytes.
+const maxSpecBytes = 1 << 20
+
+// JobSpec is the JSON wire form of a dimensioning job. Exactly one of
+// Network (an inline netmodel spec), Example (a built-in name), or Topo
+// (a generator spec, see cliutil.ParseTopo) names the network; everything
+// else is optional and zero values reproduce windim's defaults.
+type JobSpec struct {
+	// ID names the job; [A-Za-z0-9._-], at most 64 runes. Empty means the
+	// server assigns a random one. IDs are also spool file names.
+	ID string `json:"id,omitempty"`
+	// Network is an inline JSON network spec (netmodel.ParseSpec).
+	Network json.RawMessage `json:"network,omitempty"`
+	// Example is a built-in example name: canada2, canada4, tandemN.
+	Example string `json:"example,omitempty"`
+	// Topo generates a synthetic topology: clos:L,S,C | scalefree:N,M,C |
+	// mesh:N,E,C, seeded by TopoSeed (same spec and seed, same network).
+	Topo     string `json:"topo,omitempty"`
+	TopoSeed uint64 `json:"topo_seed,omitempty"`
+	// Rates overrides the per-class arrival rates — the knob an online
+	// re-dimensioning loop turns as measured traffic drifts. Not allowed
+	// with Topo (generated rates are utilisation-scaled).
+	Rates []float64 `json:"rates,omitempty"`
+	// Scenarios, when present, is a core.ScenarioSetSpec; the job then
+	// dimensions robustly against it under the Robust criterion.
+	Scenarios json.RawMessage `json:"scenarios,omitempty"`
+	// Robust is the robust criterion with Scenarios: "minmax" (default)
+	// or "weighted".
+	Robust string `json:"robust,omitempty"`
+	// Evaluator: "sigma" (default), "schweitzer", "linearizer", "exact".
+	Evaluator string `json:"evaluator,omitempty"`
+	// Objective: "power" (default), "min-class", "sum-class".
+	Objective string `json:"objective,omitempty"`
+	// MaxWindow bounds every window from above (0 = the core default 64).
+	MaxWindow int `json:"max_window,omitempty"`
+	// Start overrides the initial window vector. When absent the server
+	// warm-starts from the last optimum it solved for the same network
+	// structure (if any), falling back to the hop-count rule.
+	Start []int `json:"start,omitempty"`
+	// Workers parallelises candidate evaluation inside this job's search
+	// (clamped by the server; the trajectory is worker-count-independent).
+	Workers int `json:"workers,omitempty"`
+	// ExactEngine routes exact evaluations through the server's shared,
+	// memory-budgeted convolution-oracle cache.
+	ExactEngine bool `json:"exact_engine,omitempty"`
+	// EvalTimeoutMS arms the per-candidate watchdog (0 = server default).
+	EvalTimeoutMS int64 `json:"eval_timeout_ms,omitempty"`
+	// TimeoutMS bounds each attempt of the job (0 = server default). On
+	// expiry the job completes with its best-so-far windows, marked
+	// partial.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxRetries caps automatic retries after transient failures; nil
+	// means the server default, 0 disables retries.
+	MaxRetries *int `json:"max_retries,omitempty"`
+	// DegradeAfter/MinScenarios tune graceful scenario degradation for
+	// robust jobs (see core.Options).
+	DegradeAfter int `json:"degrade_after,omitempty"`
+	MinScenarios int `json:"min_scenarios,omitempty"`
+	// CheckpointEvery is the commit cadence of durable checkpoint writes
+	// (0 = every commit).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Job is a parsed, validated job: the resolved network and scenario set
+// plus the core options fragments the runner assembles per attempt.
+type Job struct {
+	Spec JobSpec
+	// Raw is the normalised spec as persisted in the journal, so a
+	// restarted daemon re-parses exactly what was admitted.
+	Raw []byte
+	Net *netmodel.Network
+	// Scenarios is non-empty for robust jobs; Kind is its criterion.
+	Scenarios []core.Scenario
+	Kind      core.RobustKind
+	Evaluator core.Evaluator
+	Objective core.ObjectiveKind
+}
+
+// Robust reports whether the job dimensions against a scenario set.
+func (j *Job) Robust() bool { return len(j.Scenarios) > 0 }
+
+// validID reports whether id is safe as a job name and spool file stem.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	// Dot-leading names hide in directory listings and "." / ".." are
+	// path navigation; refuse the whole family.
+	return id[0] != '.'
+}
+
+// ParseJob decodes and fully validates a job submission: unknown fields
+// are rejected (a misspelled option silently ignored is a misdimensioned
+// network), the network is resolved and validated, scenario and option
+// names are checked, and vector lengths are verified against the network.
+// Malformed input of any shape returns an error, never a panic.
+func ParseJob(data []byte) (*Job, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("service: job spec is %d bytes; the limit is %d", len(data), maxSpecBytes)
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("service: parsing job spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("service: trailing data after job spec")
+	}
+	if spec.ID != "" && !validID(spec.ID) {
+		return nil, fmt.Errorf("service: job id %q: need 1-64 characters of [A-Za-z0-9._-], not starting with a dot", spec.ID)
+	}
+
+	sources := 0
+	for _, set := range []bool{len(spec.Network) > 0, spec.Example != "", spec.Topo != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("service: exactly one of network, example, topo must be given")
+	}
+	var n *netmodel.Network
+	var err error
+	switch {
+	case len(spec.Network) > 0:
+		n, err = netmodel.ParseSpec(spec.Network)
+	case spec.Example != "":
+		n, err = cliutil.BuiltinExample(spec.Example)
+	default:
+		n, err = cliutil.ParseTopo(spec.Topo, spec.TopoSeed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: resolving job network: %w", err)
+	}
+	if spec.Rates != nil {
+		if spec.Topo != "" {
+			return nil, fmt.Errorf("service: rates do not apply to generated topologies (their rates are utilisation-scaled)")
+		}
+		if len(spec.Rates) != len(n.Classes) {
+			return nil, fmt.Errorf("service: %d rates for %d classes", len(spec.Rates), len(n.Classes))
+		}
+		for r := range n.Classes {
+			n.Classes[r].Rate = spec.Rates[r]
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("service: job network invalid: %w", err)
+	}
+
+	job := &Job{Spec: spec, Net: n}
+	if len(spec.Scenarios) > 0 {
+		job.Scenarios, err = core.ParseScenarios(spec.Scenarios, n)
+		if err != nil {
+			return nil, fmt.Errorf("service: job scenarios: %w", err)
+		}
+	}
+	switch spec.Robust {
+	case "", "minmax":
+		job.Kind = core.RobustMinimax
+	case "weighted":
+		job.Kind = core.RobustWeighted
+	default:
+		return nil, fmt.Errorf("service: unknown robust criterion %q (want minmax or weighted)", spec.Robust)
+	}
+	if spec.Robust != "" && len(spec.Scenarios) == 0 {
+		return nil, fmt.Errorf("service: robust criterion given without scenarios")
+	}
+	switch spec.Evaluator {
+	case "", "sigma":
+		job.Evaluator = core.EvalSigmaMVA
+	case "schweitzer":
+		job.Evaluator = core.EvalSchweitzerMVA
+	case "linearizer":
+		job.Evaluator = core.EvalLinearizerMVA
+	case "exact":
+		job.Evaluator = core.EvalExactMVA
+	default:
+		return nil, fmt.Errorf("service: unknown evaluator %q", spec.Evaluator)
+	}
+	switch spec.Objective {
+	case "", "power":
+		job.Objective = core.ObjNetworkPower
+	case "min-class":
+		job.Objective = core.ObjMinClassPower
+	case "sum-class":
+		job.Objective = core.ObjSumClassPower
+	default:
+		return nil, fmt.Errorf("service: unknown objective %q", spec.Objective)
+	}
+	if spec.MaxWindow < 0 {
+		return nil, fmt.Errorf("service: negative max_window %d", spec.MaxWindow)
+	}
+	if spec.Start != nil {
+		if len(spec.Start) != len(n.Classes) {
+			return nil, fmt.Errorf("service: start vector has %d entries for %d classes", len(spec.Start), len(n.Classes))
+		}
+		for i, w := range spec.Start {
+			if w < 1 {
+				return nil, fmt.Errorf("service: start window %d at index %d; windows are at least 1", w, i)
+			}
+		}
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("service: negative workers %d", spec.Workers)
+	}
+	for name, ms := range map[string]int64{"eval_timeout_ms": spec.EvalTimeoutMS, "timeout_ms": spec.TimeoutMS} {
+		if ms < 0 {
+			return nil, fmt.Errorf("service: negative %s %d", name, ms)
+		}
+	}
+	if spec.MaxRetries != nil && *spec.MaxRetries < 0 {
+		return nil, fmt.Errorf("service: negative max_retries %d", *spec.MaxRetries)
+	}
+	if spec.DegradeAfter < 0 || spec.MinScenarios < 0 {
+		return nil, fmt.Errorf("service: negative degradation settings")
+	}
+	if spec.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("service: negative checkpoint_every %d", spec.CheckpointEvery)
+	}
+	job.Raw, err = json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: normalising job spec: %w", err)
+	}
+	return job, nil
+}
+
+// startVector returns the explicit start as a numeric vector, or nil.
+func (j *Job) startVector() numeric.IntVector {
+	if j.Spec.Start == nil {
+		return nil
+	}
+	return append(numeric.IntVector(nil), j.Spec.Start...)
+}
+
+// evalTimeout returns the spec's watchdog allowance or def.
+func (j *Job) evalTimeout(def time.Duration) time.Duration {
+	if j.Spec.EvalTimeoutMS > 0 {
+		return time.Duration(j.Spec.EvalTimeoutMS) * time.Millisecond
+	}
+	return def
+}
+
+// timeout returns the spec's per-attempt deadline or def.
+func (j *Job) timeout(def time.Duration) time.Duration {
+	if j.Spec.TimeoutMS > 0 {
+		return time.Duration(j.Spec.TimeoutMS) * time.Millisecond
+	}
+	return def
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{
+		ID:      "job-1",
+		State:   StateRunning,
+		Spec:    json.RawMessage(`{"example": "canada2"}`),
+		Start:   []int{3, 3},
+		Created: time.Now().UTC(),
+		Retries: []Retry{{Attempt: 1, Error: "boom", BackoffMS: 100}},
+	}
+	if err := j.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Load("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateRunning || len(got.Start) != 2 || len(got.Retries) != 1 {
+		t.Fatalf("loaded record mismatch: %+v", got)
+	}
+	if got.Updated.IsZero() {
+		t.Fatal("Write did not stamp Updated")
+	}
+}
+
+func TestJournalScanOrderAndBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().UTC()
+	for i, id := range []string{"newer", "older"} {
+		rec := &Record{ID: id, State: StateQueued, Spec: json.RawMessage(`{}`),
+			Created: base.Add(time.Duration(1-i) * time.Minute)}
+		if err := j.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn or corrupt record must be reported, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.job"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A record whose body names another id is corrupt too.
+	if err := os.WriteFile(filepath.Join(dir, "stray.job"), []byte(`{"id": "other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, bad, err := j.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[0].ID != "older" || records[1].ID != "newer" {
+		t.Fatalf("scan order wrong: %+v", records)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("expected 2 bad records, got %v", bad)
+	}
+}
+
+func TestJournalRetireCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := j.CheckpointPath("job-1")
+	for _, p := range []string{ckpt, ckpt + ".delta"} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.RetireCheckpoint("job-1")
+	for _, p := range []string{ckpt, ckpt + ".delta"} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("%s survived retirement", p)
+		}
+	}
+}
