@@ -1,0 +1,181 @@
+// Command windim-shard runs the fault-tolerant sharded exhaustive
+// search: it slab-partitions the window box along one class axis,
+// launches worker processes over a fsynced spool directory, supervises
+// them (heartbeats, deadlines, backoff-paced retries, quarantine of torn
+// results, graceful degradation of permanently lost slabs), and merges
+// the per-slab optima into a result bit-identical to the single-process
+// `windim -search exhaustive` run.
+//
+// Usage:
+//
+//	windim-shard -example canada2 -rates 20,20 -max-window 8 -spool /tmp/spool
+//	windim-shard -spec network.json -procs 4 -slabs 8 -evaluator exact -exact-engine
+//	windim-shard -example canada2 -max-window 6 -spool s -progress events.ndjson
+//
+// By default the coordinator re-execs its own binary in worker mode
+// (the hidden -shard-worker flag); -worker-cmd points at a different
+// worker binary, e.g. `windim -shard-worker`. Re-running over the same
+// spool resumes: finished slabs are recovered from their durable
+// results without relaunch and interrupted slabs resume from their
+// delta checkpoints. SIGTERM drains — every live worker checkpoints its
+// slab before exit — so the next run picks up where this one stopped.
+//
+// The SHARD_FAULT environment variable ("crash:slab2,hang:slab0") is a
+// fault-injection hook honoured by worker mode; the chaos tests and the
+// CI chaos smoke job use it to prove crash recovery and merge
+// determinism.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/shard"
+)
+
+func main() {
+	if len(os.Args) == 2 && os.Args[1] == "-shard-worker" {
+		os.Exit(shard.WorkerMain())
+	}
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "windim-shard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("windim-shard", flag.ContinueOnError)
+	spec := fs.String("spec", "", "JSON network spec file")
+	example := fs.String("example", "", "built-in example: canada2, canada4, tandemN")
+	rates := fs.String("rates", "", "override class arrival rates, e.g. 20,20")
+	evaluator := fs.String("evaluator", "sigma", "candidate evaluator: sigma, schweitzer, linearizer, exact")
+	objective := fs.String("objective", "power", "criterion: power, min-class, sum-class")
+	maxWindow := fs.Int("max-window", 0, "upper bound on every window (0 = default)")
+	workers := fs.Int("workers", 1, "search goroutines inside each worker process")
+	noFallback := fs.Bool("no-fallback", false, "disable the resilient solver chain in the workers")
+	exactEngine := fs.Bool("exact-engine", false, "serve exact evaluations from a slab-bounded convolution lattice per worker")
+	spool := fs.String("spool", "", "spool directory for manifest, slab checkpoints and results (required; reuse to resume)")
+	procs := fs.Int("procs", 2, "concurrently running worker processes")
+	slabs := fs.Int("slabs", 0, "slab count (0 = 2x procs, clamped to the axis width)")
+	axis := fs.Int("axis", -1, "class axis to partition (-1 = widest)")
+	retries := fs.Int("retries", 2, "relaunches per slab beyond the first attempt before it is lost")
+	allowLost := fs.Int("allow-lost", 0, "tolerate up to this many lost slabs, degrading gracefully with recorded reasons")
+	slabDeadline := fs.Duration("slab-deadline", 2*time.Minute, "per-stride progress deadline before a worker is presumed hung and its slab reassigned")
+	workerCmd := fs.String("worker-cmd", "", "worker command line (default: this binary with -shard-worker)")
+	progress := fs.String("progress", "", "append the NDJSON progress event stream to this file ('-' = stderr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spool == "" {
+		return fmt.Errorf("-spool is required")
+	}
+	rateVec, err := cliutil.ParseRates(*rates)
+	if err != nil {
+		return err
+	}
+	n, err := cliutil.LoadNetwork(*spec, *example, rateVec)
+	if err != nil {
+		return err
+	}
+
+	copts := core.Options{
+		Search:          core.ExhaustiveSearch,
+		MaxWindow:       *maxWindow,
+		Workers:         *workers,
+		DisableFallback: *noFallback,
+		ExactEngine:     *exactEngine,
+	}
+	switch *evaluator {
+	case "sigma":
+		copts.Evaluator = core.EvalSigmaMVA
+	case "schweitzer":
+		copts.Evaluator = core.EvalSchweitzerMVA
+	case "linearizer":
+		copts.Evaluator = core.EvalLinearizerMVA
+	case "exact":
+		copts.Evaluator = core.EvalExactMVA
+	default:
+		return fmt.Errorf("unknown evaluator %q", *evaluator)
+	}
+	switch *objective {
+	case "power":
+		copts.Objective = core.ObjNetworkPower
+	case "min-class":
+		copts.Objective = core.ObjMinClassPower
+	case "sum-class":
+		copts.Objective = core.ObjSumClassPower
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	argv := []string{os.Args[0], "-shard-worker"}
+	if *workerCmd != "" {
+		argv = strings.Fields(*workerCmd)
+	}
+
+	var progW io.Writer
+	switch *progress {
+	case "":
+	case "-":
+		progW = os.Stderr
+	default:
+		f, err := os.OpenFile(*progress, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		progW = f
+	}
+
+	// SIGTERM/Ctrl-C drains: every live worker checkpoints its slab
+	// before exit, and re-running over the spool resumes the search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := shard.Run(n, copts, shard.Options{
+		Dir:          *spool,
+		WorkerArgv:   argv,
+		Procs:        *procs,
+		Slabs:        *slabs,
+		Axis:         *axis,
+		MaxRetries:   *retries,
+		AllowLost:    *allowLost,
+		SlabDeadline: *slabDeadline,
+		Progress:     progW,
+		Context:      ctx,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("network: %s (%d nodes, %d channels, %d classes)\n",
+		n.Name, len(n.Nodes), len(n.Channels), len(n.Classes))
+	fmt.Printf("evaluator: %v, search: sharded exhaustive (%d slabs on axis %d)\n\n",
+		copts.Evaluator, res.Slabs, res.Axis)
+	fmt.Printf("optimal windows : %s\n", report.Windows(res.Windows))
+	fmt.Printf("network power   : %s (throughput %s msg/s, delay %s s)\n",
+		report.Float(res.Metrics.Power, 1),
+		report.Float(res.Metrics.Throughput, 2),
+		report.Float(res.Metrics.Delay, 4))
+	fmt.Printf("\nsearch: %d objective evaluations, %d non-converged candidates\n",
+		res.Evaluations, res.NonConverged)
+	fmt.Printf("shards: %d recovered, %d retries, %d reassigned, %d quarantined\n",
+		res.Recovered, res.Retries, res.Reassigned, res.Quarantined)
+	for _, d := range res.Degraded {
+		fmt.Printf("degraded slab %d: %s\n", d.Slab, d.Reason)
+	}
+	return nil
+}

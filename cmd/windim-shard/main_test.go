@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// TestMain mirrors main's worker-mode dispatch: the coordinator under
+// test re-execs this test binary with -shard-worker, exactly as the
+// installed windim-shard binary re-execs itself.
+func TestMain(m *testing.M) {
+	if len(os.Args) == 2 && os.Args[1] == "-shard-worker" {
+		os.Exit(shard.WorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-example", "canada2"}); err == nil {
+		t.Error("missing -spool accepted")
+	}
+	spool := t.TempDir()
+	if err := run([]string{"-example", "canada2", "-spool", spool, "-evaluator", "psychic"}); err == nil {
+		t.Error("unknown evaluator accepted")
+	}
+	if err := run([]string{"-example", "canada2", "-spool", spool, "-objective", "vibes"}); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := run([]string{"-spool", spool}); err == nil {
+		t.Error("missing network accepted")
+	}
+}
+
+func TestRunShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spool := filepath.Join(t.TempDir(), "spool")
+	events := filepath.Join(t.TempDir(), "events.ndjson")
+	args := []string{
+		"-example", "canada2", "-rates", "20,20",
+		"-max-window", "6", "-spool", spool,
+		"-procs", "2", "-slabs", "3",
+		"-progress", events,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if data, err := os.ReadFile(events); err != nil || len(data) == 0 {
+		t.Fatalf("progress stream empty: %v", err)
+	}
+	// A second run over the same spool recovers every slab from its
+	// durable result — the resume path end to end through the CLI.
+	if err := run(args); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+}

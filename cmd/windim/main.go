@@ -62,9 +62,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/netmodel"
 	"repro/internal/report"
+	"repro/internal/shard"
 )
 
 func main() {
+	// Worker mode must be dispatched before flag parsing: the sharded
+	// search coordinator (windim-shard) execs this binary with only this
+	// flag, the slab assignment travelling in the SHARD_* environment.
+	if len(os.Args) == 2 && os.Args[1] == "-shard-worker" {
+		os.Exit(shard.WorkerMain())
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "windim:", err)
 		os.Exit(1)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"":        0,
+		"0":       0,
+		"123":     123,
+		"10b":     10,
+		"5KiB":    5 << 10,
+		"10kb":    10 << 10,
+		"64m":     64 << 20,
+		"256MiB":  256 << 20,
+		"1g":      1 << 30,
+		"2GiB":    2 << 30,
+		" 7 mib ": 7 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"x", "-5", "1.5m", "mib", "10q", "9223372036854775807g"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-mem-budget", "lots"}); err == nil {
+		t.Error("bad -mem-budget accepted")
+	}
+	// A spool path that is a regular file cannot hold a journal.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spool", f, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("file spool accepted")
+	}
+}
+
+// TestRunStartupAndDrain is the startup smoke test: boot the daemon on a
+// loopback port, see it healthy, read /stats (including the per-job
+// detail the shard/windimd observability rides on), then SIGTERM it and
+// require a clean exit — the same drain discipline the sharded
+// coordinator follows.
+func TestRunStartupAndDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	spool := filepath.Join(t.TempDir(), "spool")
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", addr, "-spool", spool, "-jobs", "1"}) }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d %v", resp.StatusCode, err)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("/stats not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"checkpoints_discarded", "watchdog_trips", "jobs_detail"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q: %s", key, body)
+		}
+	}
+
+	// Give run() a beat to register its signal handler (healthz races it
+	// by a few instructions), then drain.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("drain timed out")
+	}
+}

@@ -27,6 +27,7 @@
 package convolution
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -59,7 +60,21 @@ type EngineOptions struct {
 	// Budget caps the bounding-box lattice in points (not bytes).
 	// Zero means DefaultEngineBudget.
 	Budget int
+	// MaxBox, when non-nil, is a hard per-chain ceiling on the bounding
+	// box: construction beyond it fails and queries beyond it return
+	// ErrBoxBounded instead of growing the lattice. A slab worker of the
+	// sharded exhaustive search sets it to its slab corner so that no
+	// query — however buggy the caller — can ever grow the lattice past
+	// the memory the slab was budgeted for. The check is point-local (a
+	// function of the queried population alone, never of growth history),
+	// preserving the engine's determinism contract.
+	MaxBox numeric.IntVector
 }
+
+// ErrBoxBounded is returned for queries beyond EngineOptions.MaxBox: the
+// caller asked the engine to grow past the hard slab bound it was
+// constructed with.
+var ErrBoxBounded = errors.New("convolution: query exceeds the engine's hard box bound")
 
 // Means is the cheap evaluation product of Engine.MeansAt: chain
 // throughputs and per-station per-chain mean queue lengths, without the
@@ -105,6 +120,16 @@ func NewEngine(net *qnet.Network, hmax numeric.IntVector, opts EngineOptions) (*
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
+	}
+	if opts.MaxBox != nil {
+		if len(opts.MaxBox) != net.R() {
+			return nil, fmt.Errorf("convolution: MaxBox has %d chains, network has %d", len(opts.MaxBox), net.R())
+		}
+		for w, hw := range hmax {
+			if hw > opts.MaxBox[w] {
+				return nil, fmt.Errorf("%w: initial box %v exceeds MaxBox %v", ErrBoxBounded, hmax, opts.MaxBox)
+			}
+		}
 	}
 	e := &Engine{net: net, opts: opts}
 	lat, err := e.buildAt(hmax.Clone())
@@ -210,6 +235,13 @@ func (e *Engine) checkQuery(h numeric.IntVector) error {
 	}
 	if !h.AllNonNegative() {
 		return fmt.Errorf("convolution: negative population in query %v", h)
+	}
+	if e.opts.MaxBox != nil {
+		for w, hw := range h {
+			if hw > e.opts.MaxBox[w] {
+				return fmt.Errorf("%w: population %v exceeds MaxBox %v", ErrBoxBounded, h, e.opts.MaxBox)
+			}
+		}
 	}
 	return nil
 }

@@ -366,3 +366,67 @@ func TestEngineZeroPopulation(t *testing.T) {
 		t.Fatalf("lambda = %v, G = %v", sol.Throughput[0], sol.G)
 	}
 }
+
+// TestEngineMaxBox pins the hard box bound the sharded search's slab
+// workers rely on: queries inside MaxBox are served (and bit-identical
+// to an unbounded engine's), queries beyond it fail with ErrBoxBounded
+// instead of growing the lattice, and construction beyond the bound is
+// rejected outright.
+func TestEngineMaxBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, hmax := randomNetwork(rng)
+
+	bounded, err := NewEngine(net, hmax, EngineOptions{MaxBox: hmax.Clone()})
+	if err != nil {
+		t.Fatalf("NewEngine with MaxBox=hmax: %v", err)
+	}
+	free, err := NewEngine(net, hmax, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the bound: identical to the unbounded engine, bit for bit.
+	numeric.LatticeWalk(hmax, func(p numeric.IntVector) {
+		got, err := bounded.EvalAt(p.Clone())
+		if err != nil {
+			t.Fatalf("bounded EvalAt(%v): %v", p, err)
+		}
+		want, err := free.EvalAt(p.Clone())
+		if err != nil {
+			t.Fatalf("free EvalAt(%v): %v", p, err)
+		}
+		for w := range want.Throughput {
+			if math.Float64bits(got.Throughput[w]) != math.Float64bits(want.Throughput[w]) {
+				t.Fatalf("throughput at %v differs under MaxBox: %v vs %v", p, got.Throughput[w], want.Throughput[w])
+			}
+		}
+	})
+
+	// One past the bound on any axis: ErrBoxBounded, lattice unchanged.
+	sizeBefore := bounded.Size()
+	for w := range hmax {
+		over := hmax.Clone()
+		over[w]++
+		if _, err := bounded.EvalAt(over); !errors.Is(err, ErrBoxBounded) {
+			t.Fatalf("EvalAt(%v) beyond MaxBox: err = %v, want ErrBoxBounded", over, err)
+		}
+		if err := bounded.EnsureBox(over); !errors.Is(err, ErrBoxBounded) {
+			t.Fatalf("EnsureBox(%v) beyond MaxBox: err = %v, want ErrBoxBounded", over, err)
+		}
+	}
+	if bounded.Size() != sizeBefore {
+		t.Fatalf("rejected queries grew the lattice: %d -> %d", sizeBefore, bounded.Size())
+	}
+
+	// Construction beyond the bound and dimension mismatches fail fast.
+	small := hmax.Clone()
+	small[0]--
+	if small[0] >= 0 {
+		if _, err := NewEngine(net, hmax, EngineOptions{MaxBox: small}); !errors.Is(err, ErrBoxBounded) {
+			t.Fatalf("NewEngine beyond MaxBox: err = %v, want ErrBoxBounded", err)
+		}
+	}
+	if _, err := NewEngine(net, hmax, EngineOptions{MaxBox: append(hmax.Clone(), 1)}); err == nil {
+		t.Fatal("NewEngine accepted a MaxBox of the wrong dimension")
+	}
+}

@@ -116,11 +116,17 @@ func NewEngine(n *netmodel.Network, opts Options) (*Engine, error) {
 		e.dog = newWatchdog(opts.EvalTimeout)
 	}
 	if opts.ExactEngine {
-		cache := opts.Oracles
-		if cache == nil {
-			cache = NewOracleCache(0)
+		if opts.OracleBox != nil {
+			// A box-bounded oracle declines candidates an unbounded one
+			// would serve, so it must never be shared through the cache.
+			e.conv = newConvOracle(ref, opts.Workers, opts.OracleBox)
+		} else {
+			cache := opts.Oracles
+			if cache == nil {
+				cache = NewOracleCache(0)
+			}
+			e.conv = cache.oracleFor(ref, opts.Workers)
 		}
-		e.conv = cache.oracleFor(ref, opts.Workers)
 	}
 	e.pool.New = func() any {
 		st := &evalState{

@@ -39,17 +39,25 @@ var errOracleDead = errors.New("core: convolution oracle disabled")
 type convOracle struct {
 	net     *qnet.Network
 	workers int
+	// maxBox, when non-nil, is a hard per-chain ceiling forwarded to every
+	// engine the oracle builds (convolution.EngineOptions.MaxBox): a slab
+	// worker of the sharded search sets it to its slab corner so that no
+	// candidate — shared box or private fallback — can grow a lattice past
+	// the slab's memory budget. Candidates beyond it fall through to the
+	// exact MVA recursion, a point-local decision that preserves the
+	// oracle's determinism contract.
+	maxBox numeric.IntVector
 
 	mu   sync.Mutex
 	eng  *convolution.Engine
 	dead bool
 }
 
-func newConvOracle(ref *qnet.Network, workers int) *convOracle {
+func newConvOracle(ref *qnet.Network, workers int, maxBox numeric.IntVector) *convOracle {
 	if workers < 1 {
 		workers = 1
 	}
-	return &convOracle{net: ref, workers: workers}
+	return &convOracle{net: ref, workers: workers, maxBox: maxBox}
 }
 
 // solve answers the exact solution at the populations currently set in
@@ -73,6 +81,16 @@ func (o *convOracle) solve(model *qnet.Network) *mva.Solution {
 	if _, err := numeric.LatticeSize(pops, exactOracleCap); err != nil {
 		return nil
 	}
+	if o.maxBox != nil {
+		// Point-local slab guard: a candidate beyond the slab corner is
+		// declined before any engine is touched, exactly as a too-large
+		// lattice would be.
+		for r, p := range pops {
+			if r >= len(o.maxBox) || p > o.maxBox[r] {
+				return nil
+			}
+		}
+	}
 	m, err := o.sharedMeans(pops)
 	if err != nil {
 		m, err = o.privateMeans(pops)
@@ -92,7 +110,7 @@ func (o *convOracle) sharedMeans(pops numeric.IntVector) (*convolution.Means, er
 		return nil, errOracleDead
 	}
 	if o.eng == nil {
-		eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers})
+		eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers, MaxBox: o.maxBox})
 		if err != nil {
 			o.dead = true
 			o.mu.Unlock()
@@ -111,7 +129,7 @@ func (o *convOracle) sharedMeans(pops numeric.IntVector) (*convolution.Means, er
 // candidate — the deterministic fallback when the shared box cannot
 // answer for reasons the candidate does not share.
 func (o *convOracle) privateMeans(pops numeric.IntVector) (*convolution.Means, error) {
-	eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers, Budget: exactOracleCap})
+	eng, err := convolution.NewEngine(o.net, pops, convolution.EngineOptions{Workers: o.workers, Budget: exactOracleCap, MaxBox: o.maxBox})
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +282,7 @@ func (c *OracleCache) oracleFor(ref *qnet.Network, workers int) *convOracle {
 		e.last = c.seq
 		return e.oracle
 	}
-	o := newConvOracle(ref, workers)
+	o := newConvOracle(ref, workers, nil)
 	c.m[key] = &oracleEntry{oracle: o, last: c.seq}
 	return o
 }

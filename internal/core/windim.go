@@ -12,10 +12,8 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/mva"
@@ -260,6 +258,16 @@ type Options struct {
 	// windimd service forwards each commit to its job event feed, and the
 	// checkpoint tests use it to cancel a run after exactly K commits.
 	OnCommit func(x numeric.IntVector, fx float64)
+	// OracleBox, when non-nil, hard-bounds the convolution oracle of an
+	// ExactEngine run to the given per-class corner: no candidate — shared
+	// box or private fallback — may grow a lattice beyond it; candidates
+	// outside the corner fall through to the exact MVA recursion. A slab
+	// worker of the sharded exhaustive search (internal/shard) sets it to
+	// its slab corner so every worker's memory footprint is bounded by the
+	// slab it was assigned, not the full search box. The bound is
+	// point-local, so it never changes the value computed for an in-box
+	// candidate. A non-nil OracleBox forces a private (uncached) oracle.
+	OracleBox numeric.IntVector
 	// Oracles, when non-nil, shares convolution oracles across the engines
 	// built from these options: DimensionRobust sets it so scenarios with
 	// identical station/chain structure reuse one lattice, and the windimd
@@ -339,38 +347,9 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 		hi[i] = maxW
 		lo[i] = 1
 	}
-	var feasible func(numeric.IntVector) bool
-	if opts.BufferLimits != nil {
-		if len(opts.BufferLimits) != len(n.Nodes) {
-			return nil, fmt.Errorf("core: %d buffer limits for %d nodes", len(opts.BufferLimits), len(n.Nodes))
-		}
-		// storers[i] lists the classes that can store messages at node i
-		// (every route node except the sink).
-		storers := make([][]int, len(n.Nodes))
-		for r := range n.Classes {
-			nodes, err := n.RouteNodes(r)
-			if err != nil {
-				return nil, err
-			}
-			for _, v := range nodes[:len(nodes)-1] {
-				storers[v] = append(storers[v], r)
-			}
-		}
-		feasible = func(x numeric.IntVector) bool {
-			for i, k := range opts.BufferLimits {
-				if k <= 0 {
-					continue
-				}
-				sum := 0
-				for _, r := range storers[i] {
-					sum += x[r]
-				}
-				if sum > k {
-					return false
-				}
-			}
-			return true
-		}
+	feasible, err := bufferFeasibility(n, opts.BufferLimits)
+	if err != nil {
+		return nil, err
 	}
 	if opts.Context != nil {
 		// Thread the deadline into the MVA fixed-point loops too, so a
@@ -382,23 +361,10 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	var nonConverged atomic.Int64
-	objective := func(x numeric.IntVector) (float64, error) {
-		if feasible != nil && !feasible(x) {
-			return math.Inf(1), nil
-		}
-		v, err := eng.ObjectiveValue(x, opts.Objective)
-		if err != nil {
-			// A non-converged fixed point marks the candidate as
-			// infeasible rather than aborting the search.
-			if errors.Is(err, mva.ErrNotConverged) {
-				nonConverged.Add(1)
-				return math.Inf(1), nil
-			}
-			return 0, err
-		}
-		return v, nil
-	}
+	// A non-converged fixed point marks the candidate as infeasible (+Inf)
+	// rather than aborting the search; see BoxScanner.objective.
+	scan := &BoxScanner{opts: opts, eng: eng, feasible: feasible}
+	objective := scan.objective
 
 	ckptOpts, resume, err := searchCheckpointing(n, opts, nil, "")
 	if err != nil {
@@ -408,7 +374,7 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	var sres *pattern.Result
 	switch opts.Search {
 	case ExhaustiveSearch:
-		sres, err = pattern.ExhaustiveParallelCtx(opts.Context, objective, lo, hi, 0, opts.Workers)
+		sres, err = scan.Scan(lo, hi)
 	default:
 		start := opts.InitialWindows
 		if start == nil {
@@ -478,7 +444,7 @@ func Dimension(n *netmodel.Network, opts Options) (*Result, error) {
 	res.Windows = sres.Best
 	res.Metrics = metrics
 	res.Search = sres
-	res.NonConverged = int(nonConverged.Load())
+	res.NonConverged = scan.NonConverged()
 	res.Fallbacks = eng.FallbackCounts()
 	res.WatchdogTrips = eng.WatchdogTrips()
 	return res, searchErr

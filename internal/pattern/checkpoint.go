@@ -250,7 +250,7 @@ func (cp *Checkpoint) mergeDeltas(path string) error {
 			}
 		}
 		for k, v := range rec.Visited {
-			if !validPointKey(k, cp.Dim) {
+			if !ValidPointKey(k, cp.Dim) {
 				return fmt.Errorf("delta record %d visited key %q is not a %d-dimensional lattice point", i+1, k, cp.Dim)
 			}
 			cp.Visited[k] = v
@@ -295,16 +295,18 @@ func ParseCheckpoint(data []byte) (*Checkpoint, error) {
 		}
 	}
 	for k := range cp.Visited {
-		if !validPointKey(k, cp.Dim) {
+		if !ValidPointKey(k, cp.Dim) {
 			return nil, fmt.Errorf("checkpoint visited key %q is not a %d-dimensional lattice point", k, cp.Dim)
 		}
 	}
 	return &cp, nil
 }
 
-// validPointKey reports whether k is a well-formed IntVector.Key() of the
-// given dimension.
-func validPointKey(k string, dim int) bool {
+// ValidPointKey reports whether k is a well-formed IntVector.Key() of the
+// given dimension. Exported for the other durable wire formats built on
+// point keys (the sharded search's slab checkpoints in internal/shard),
+// so their parse hardening matches the checkpoint loader's.
+func ValidPointKey(k string, dim int) bool {
 	parts := strings.Split(k, ",")
 	if len(parts) != dim {
 		return false
@@ -326,10 +328,20 @@ func (cp *Checkpoint) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("pattern: marshal checkpoint: %w", err)
 	}
+	return WriteDurable(path, data)
+}
+
+// WriteDurable publishes data at path atomically and durably: write to a
+// temp file in the destination directory, fsync, rename, fsync the
+// directory. A crash at any instant leaves either the previous complete
+// file or the new complete one on disk — never a torn write. Shared by
+// every durable artifact in the repository that is replaced wholesale
+// (checkpoints here, the sharded search's manifests and slab results).
+func WriteDurable(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("pattern: checkpoint temp file: %w", err)
+		return fmt.Errorf("pattern: durable temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	cleanup := func(err error) error {
@@ -338,23 +350,23 @@ func (cp *Checkpoint) Save(path string) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		return cleanup(fmt.Errorf("pattern: write checkpoint: %w", err))
+		return cleanup(fmt.Errorf("pattern: durable write: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
-		return cleanup(fmt.Errorf("pattern: sync checkpoint: %w", err))
+		return cleanup(fmt.Errorf("pattern: durable sync: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
-		return cleanup(fmt.Errorf("pattern: close checkpoint: %w", err))
+		return cleanup(fmt.Errorf("pattern: durable close: %w", err))
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("pattern: publish checkpoint: %w", err)
+		return fmt.Errorf("pattern: durable publish: %w", err)
 	}
 	// The rename is durable only once the directory entry is: without the
-	// directory sync a crash immediately after Save can roll the file back
-	// to the previous checkpoint — or, for a first write, to nothing.
+	// directory sync a crash immediately after the write can roll the file
+	// back to the previous version — or, for a first write, to nothing.
 	if err := SyncDir(dir); err != nil {
-		return fmt.Errorf("pattern: sync checkpoint directory: %w", err)
+		return fmt.Errorf("pattern: sync durable directory: %w", err)
 	}
 	return nil
 }

@@ -38,11 +38,12 @@ func transientErr(err error) bool {
 		errors.Is(err, errPanic)
 }
 
-// backoffDelay is the exponential backoff before retry attempt n (1-based
+// BackoffDelay is the exponential backoff before retry attempt n (1-based
 // count of recorded retries): base 100ms doubling per retry, capped at
 // 5s, plus up to 50% uniform jitter so a burst of failing jobs does not
-// retry in lockstep.
-func backoffDelay(retries int) time.Duration {
+// retry in lockstep. Exported because the sharded-search coordinator
+// (internal/shard) paces its worker relaunches with the same discipline.
+func BackoffDelay(retries int) time.Duration {
 	base := 100 * time.Millisecond << min(retries, 6)
 	if base > 5*time.Second {
 		base = 5 * time.Second
@@ -137,7 +138,7 @@ func (s *Server) runJob(j *job) {
 			s.finishTerminal(j, StateFailed, err.Error())
 			return
 		}
-		delay := backoffDelay(retries)
+		delay := BackoffDelay(retries)
 		j.mu.Lock()
 		j.rec.Retries = append(j.rec.Retries, Retry{
 			Attempt:   attempt,
@@ -205,6 +206,10 @@ func (s *Server) runAttempt(j *job, resume bool) (res *JobResult, err error) {
 		// The checkpoint is stale or torn beyond use (e.g. written by an
 		// older binary). Losing the search prefix beats losing the job.
 		s.logf("job %s: discarding unusable checkpoint: %v", j.id, err)
+		j.mu.Lock()
+		j.ckptDiscarded++
+		j.mu.Unlock()
+		s.ckptDiscardedTotal.Add(1)
 		s.journal.RetireCheckpoint(j.id)
 		opts.ResumePath = ""
 		res, err = s.dimension(j, opts)

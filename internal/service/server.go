@@ -112,10 +112,13 @@ type job struct {
 	cancel       context.CancelCauseFunc // non-nil while an attempt runs
 	userCanceled bool
 	pinned       int64 // oracle-budget bytes reserved until terminal
-	events       []Event
-	notify       chan struct{} // closed and replaced on every event
-	closed       bool
-	done         chan struct{}
+	// ckptDiscarded counts checkpoints of this job that resume found
+	// unusable (stale or torn beyond repair) and quarantined.
+	ckptDiscarded int64
+	events        []Event
+	notify        chan struct{} // closed and replaced on every event
+	closed        bool
+	done          chan struct{}
 }
 
 func newJob(id string, parsed *Job, rec *Record) *job {
@@ -189,6 +192,9 @@ type Server struct {
 	watchdogTotal  atomic.Int64
 	fallbackTotal  atomic.Int64
 	degradedTotal  atomic.Int64
+	// ckptDiscardedTotal counts checkpoints quarantined as unusable at
+	// resume across all jobs (the per-job split is in Stats.JobsDetail).
+	ckptDiscardedTotal atomic.Int64
 }
 
 // New opens the spool, re-admits every job a previous daemon left queued
@@ -740,41 +746,77 @@ type Stats struct {
 	OracleBudget  int64                 `json:"oracle_budget"`
 	OraclePinned  int64                 `json:"oracle_pinned"`
 	BadRecords    int                   `json:"bad_records,omitempty"`
+	// CheckpointsDiscarded counts checkpoints quarantined as unusable at
+	// resume across all jobs since the daemon started.
+	CheckpointsDiscarded int64 `json:"checkpoints_discarded"`
+	// JobsDetail breaks the resilience counters down per job, in admission
+	// order: retries taken, watchdog trips and fallback rescues of the
+	// finished result, and checkpoints quarantined at resume.
+	JobsDetail []JobStat `json:"jobs_detail"`
+}
+
+// JobStat is one job's row in Stats.JobsDetail.
+type JobStat struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Attempts int    `json:"attempts"`
+	Retries  int    `json:"retries"`
+	// WatchdogTrips and FallbacksRescued come from the job's result and
+	// are populated once it finishes.
+	WatchdogTrips    int64 `json:"watchdog_trips"`
+	FallbacksRescued int64 `json:"fallbacks_rescued"`
+	// CheckpointsDiscarded counts this job's checkpoints that resume found
+	// unusable and quarantined.
+	CheckpointsDiscarded int64 `json:"checkpoints_discarded"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := Stats{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Jobs:          make(map[State]int),
-		Queued:        s.queuedGauge.Load(),
-		QueueDepth:    s.cfg.QueueDepth,
-		Running:       s.running.Load(),
-		WorkerSlots:   s.cfg.MaxJobs,
-		Admitted:      s.admitted.Load(),
-		RejectedQueue: s.rejectedQueue.Load(),
-		RejectedMem:   s.rejectedMemory.Load(),
-		Retries:       s.retriesTotal.Load(),
-		Panics:        s.panicsTotal.Load(),
-		Resumed:       s.resumedTotal.Load(),
-		WatchdogTrips: s.watchdogTotal.Load(),
-		Fallbacks:     s.fallbackTotal.Load(),
-		Degraded:      s.degradedTotal.Load(),
-		OracleCache:   s.oracles.Stats(),
-		OracleBudget:  s.oracles.Budget(),
-		OraclePinned:  s.oraclePinned.Load(),
+		UptimeSeconds:        time.Since(s.started).Seconds(),
+		Jobs:                 make(map[State]int),
+		Queued:               s.queuedGauge.Load(),
+		QueueDepth:           s.cfg.QueueDepth,
+		Running:              s.running.Load(),
+		WorkerSlots:          s.cfg.MaxJobs,
+		Admitted:             s.admitted.Load(),
+		RejectedQueue:        s.rejectedQueue.Load(),
+		RejectedMem:          s.rejectedMemory.Load(),
+		Retries:              s.retriesTotal.Load(),
+		Panics:               s.panicsTotal.Load(),
+		Resumed:              s.resumedTotal.Load(),
+		WatchdogTrips:        s.watchdogTotal.Load(),
+		Fallbacks:            s.fallbackTotal.Load(),
+		Degraded:             s.degradedTotal.Load(),
+		OracleCache:          s.oracles.Stats(),
+		OracleBudget:         s.oracles.Budget(),
+		OraclePinned:         s.oraclePinned.Load(),
+		CheckpointsDiscarded: s.ckptDiscardedTotal.Load(),
 	}
 	s.mu.Lock()
 	st.Draining = s.draining
 	st.BadRecords = s.badRecs
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
+	st.JobsDetail = make([]JobStat, 0, len(jobs))
 	for _, j := range jobs {
 		j.mu.Lock()
 		st.Jobs[j.rec.State]++
+		row := JobStat{
+			ID:                   j.id,
+			State:                j.rec.State,
+			Attempts:             j.rec.Attempts,
+			Retries:              len(j.rec.Retries),
+			CheckpointsDiscarded: j.ckptDiscarded,
+		}
+		if j.rec.Result != nil {
+			row.WatchdogTrips = j.rec.Result.WatchdogTrips
+			row.FallbacksRescued = j.rec.Result.FallbacksRescued
+		}
 		j.mu.Unlock()
+		st.JobsDetail = append(st.JobsDetail, row)
 	}
 	writeJSON(w, http.StatusOK, &st)
 }

@@ -1,0 +1,620 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+	"repro/internal/pattern"
+	"repro/internal/power"
+	"repro/internal/service"
+)
+
+// Options configures the sharded-search coordinator.
+type Options struct {
+	// Dir is the spool directory (created if missing). Re-running over a
+	// spool that already holds this search's manifest resumes it:
+	// completed slab results are recovered without relaunch and partial
+	// slabs resume from their checkpoints. A spool holding a DIFFERENT
+	// search's manifest is an error, never silently overwritten.
+	Dir string
+	// WorkerArgv is the command line exec'd per slab (argv[0] plus args),
+	// e.g. {"/usr/bin/windim", "-shard-worker"}. The slab assignment
+	// travels in the environment (EnvDir, EnvSlab).
+	WorkerArgv []string
+	// ExtraEnv entries are appended to the inherited environment (later
+	// entries win), after any SHARD_FAULT already present — the fault
+	// hook flows from the coordinator's own environment by default.
+	ExtraEnv []string
+	// Procs bounds concurrently running workers; <= 0 means 2.
+	Procs int
+	// Slabs is the partition arity; <= 0 means 2×Procs (clamped to the
+	// axis width so no slab is empty).
+	Slabs int
+	// Axis is the class axis to partition; -1 selects the widest axis of
+	// the box (ties to the lowest index).
+	Axis int
+	// MaxRetries bounds relaunches per slab beyond the first attempt;
+	// < 0 means the default (2). A slab failing MaxRetries+1 attempts is
+	// lost.
+	MaxRetries int
+	// AllowLost is the degradation quota: up to this many lost slabs are
+	// tolerated — recorded in Result.Degraded with their reasons, the
+	// merge proceeding over the surviving slabs (the quorum guard of
+	// DimensionRobust, applied to slabs). Beyond it the run fails.
+	AllowLost int
+	// SlabDeadline is the per-stride progress deadline: a worker whose
+	// heartbeat does not advance within it is presumed hung, killed, and
+	// its slab reassigned (counting against the retry budget). <= 0
+	// means 2 minutes.
+	SlabDeadline time.Duration
+	// PollEvery is the heartbeat/retry poll cadence; <= 0 means 50ms.
+	PollEvery time.Duration
+	// Progress, when non-nil, receives the NDJSON event stream.
+	Progress io.Writer
+	// Context, when non-nil, bounds the run: on cancellation the
+	// coordinator drains — SIGTERMs every live worker so each
+	// checkpoints its current slab — and returns the cause.
+	Context context.Context
+	// Logf, when non-nil, receives human-oriented progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fillDefaults() {
+	if o.Procs <= 0 {
+		o.Procs = 2
+	}
+	if o.Slabs <= 0 {
+		o.Slabs = 2 * o.Procs
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 2
+	}
+	if o.SlabDeadline <= 0 {
+		o.SlabDeadline = 2 * time.Minute
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 50 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Degraded records one slab abandoned after exhausting its retry
+// budget, mirroring core.RobustResult's degradation reporting.
+type Degraded struct {
+	Slab   int    `json:"slab"`
+	Reason string `json:"reason"`
+}
+
+// Result is the merged outcome of a sharded run.
+type Result struct {
+	// Windows minimises the objective over every surviving slab;
+	// BestValue is its objective value (1/power for the power
+	// objectives). Bit-identical to the single-process exhaustive run
+	// when no slab was lost.
+	Windows   numeric.IntVector
+	BestValue float64
+	// Metrics is the full power evaluation at Windows.
+	Metrics *power.Metrics
+	// Evaluations and NonConverged total over all slabs and attempts.
+	Evaluations  int
+	NonConverged int
+	// Slabs and Axis echo the partition.
+	Slabs int
+	Axis  int
+	// Recovered counts slabs satisfied by results already in the spool
+	// (a previous run's work); Retries counts failed attempts that were
+	// relaunched; Reassigned counts deadline kills; Quarantined counts
+	// torn/mismatched result files renamed aside.
+	Recovered   int
+	Retries     int
+	Reassigned  int
+	Quarantined int
+	// Degraded lists lost slabs (within the AllowLost quota).
+	Degraded []Degraded
+}
+
+// Slab lifecycle.
+const (
+	slabPending = iota
+	slabRunning
+	slabDone
+	slabLost
+)
+
+// Run executes the sharded exhaustive search: plan the partition, write
+// the manifest durably, launch up to Procs workers, supervise them
+// (heartbeats, deadlines, retries with service.BackoffDelay pacing,
+// quarantine of torn results), and merge the slab optima
+// deterministically.
+func Run(n *netmodel.Network, copts core.Options, opts Options) (*Result, error) {
+	opts.fillDefaults()
+	if len(opts.WorkerArgv) == 0 {
+		return nil, fmt.Errorf("shard: no worker command")
+	}
+	if copts.Search != core.ExhaustiveSearch {
+		return nil, fmt.Errorf("shard: only the exhaustive search shards (set Options.Search explicitly)")
+	}
+	if copts.BufferLimits != nil {
+		return nil, fmt.Errorf("shard: BufferLimits are not carried by the manifest; apply them in a single-process run")
+	}
+	if copts.EvalTimeout > 0 {
+		return nil, fmt.Errorf("shard: EvalTimeout breaks cross-process reproducibility; the coordinator's SlabDeadline handles stuck workers")
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	c := &coordinator{opts: opts, ctx: ctx, ev: newEventLog(opts.Progress)}
+	m, data, err := c.plan(n, copts)
+	if err != nil {
+		return nil, err
+	}
+	c.m, c.hash = m, Hash(data)
+	return c.supervise(n, copts)
+}
+
+type coordinator struct {
+	opts Options
+	ctx  context.Context
+	ev   *eventLog
+	m    *Manifest
+	hash string
+
+	slabs []slabCtl
+	res   Result
+}
+
+// slabCtl is the coordinator-side state of one slab.
+type slabCtl struct {
+	status    int
+	attempts  int // launches so far
+	failures  int // failed attempts (crash, torn result, deadline kill)
+	notBefore time.Time
+	result    *SlabResult
+	att       *attempt
+}
+
+// attempt is one live worker process.
+type attempt struct {
+	cmd      *exec.Cmd
+	lastHB   string
+	lastSeen time.Time
+	killed   bool // deadline-killed by us, not a worker fault per se
+}
+
+type workerExit struct {
+	slab int
+	att  *attempt
+	err  error
+}
+
+// plan builds (or re-reads) the manifest and makes it durable. An
+// existing manifest must match byte-for-byte: the spool's identity is
+// the search, and a mismatch means the caller pointed two different
+// searches at one directory.
+func (c *coordinator) plan(n *netmodel.Network, copts core.Options) (*Manifest, []byte, error) {
+	if err := os.MkdirAll(c.opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m, err := buildManifest(n, copts, &c.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	data = append(data, '\n')
+	path := manifestPath(c.opts.Dir)
+	if prev, err := os.ReadFile(path); err == nil {
+		if string(prev) != string(data) {
+			return nil, nil, fmt.Errorf("shard: spool %s holds a different search's manifest; use a fresh directory", c.opts.Dir)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	} else if err := pattern.WriteDurable(path, data); err != nil {
+		return nil, nil, err
+	}
+	c.ev.emit(Event{Type: EventPlan, Slab: -1, Slabs: len(m.Slabs), Axis: m.Axis})
+	c.opts.Logf("shard: %d slabs on axis %d over box %v..%v", len(m.Slabs), m.Axis, m.Lo, m.Hi)
+	return m, data, nil
+}
+
+// buildManifest plans the partition for the core options' search box.
+func buildManifest(n *netmodel.Network, copts core.Options, opts *Options) (*Manifest, error) {
+	spec, err := n.MarshalSpec()
+	if err != nil {
+		return nil, err
+	}
+	evName, err := evaluatorName(copts.Evaluator)
+	if err != nil {
+		return nil, err
+	}
+	objName, err := objectiveName(copts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(n.Classes)
+	if dim == 0 {
+		return nil, fmt.Errorf("shard: network has no classes")
+	}
+	maxW := copts.MaxWindow
+	if maxW <= 0 {
+		maxW = 64
+	}
+	lo, hi := make([]int, dim), make([]int, dim)
+	for i := range lo {
+		lo[i], hi[i] = 1, maxW
+	}
+	axis := opts.Axis
+	if axis < 0 {
+		axis = 0
+		for i := 1; i < dim; i++ {
+			if hi[i]-lo[i] > hi[axis]-lo[axis] {
+				axis = i
+			}
+		}
+	}
+	if axis >= dim {
+		return nil, fmt.Errorf("shard: axis %d out of range for %d classes", axis, dim)
+	}
+	width := hi[axis] - lo[axis] + 1
+	k := min(opts.Slabs, width)
+	slabs := make([]SlabRange, 0, k)
+	from := lo[axis]
+	for i := 0; i < k; i++ {
+		size := width / k
+		if i < width%k {
+			size++
+		}
+		slabs = append(slabs, SlabRange{From: from, To: from + size - 1})
+		from += size
+	}
+	return &Manifest{
+		Version:     FormatVersion,
+		Kind:        manifestKind,
+		Network:     json.RawMessage(spec),
+		Evaluator:   evName,
+		Objective:   objName,
+		ExactEngine: copts.ExactEngine,
+		NoFallback:  copts.DisableFallback,
+		Workers:     copts.Workers,
+		Lo:          lo,
+		Hi:          hi,
+		Axis:        axis,
+		Slabs:       slabs,
+	}, nil
+}
+
+// supervise runs the launch/collect/heartbeat loop to completion.
+func (c *coordinator) supervise(n *netmodel.Network, copts core.Options) (*Result, error) {
+	c.slabs = make([]slabCtl, len(c.m.Slabs))
+	c.res.Slabs, c.res.Axis = len(c.m.Slabs), c.m.Axis
+	c.recover()
+
+	exits := make(chan workerExit, len(c.slabs))
+	tick := time.NewTicker(c.opts.PollEvery)
+	defer tick.Stop()
+
+	for !c.settled() {
+		if err := c.launchEligible(exits); err != nil {
+			c.drain(exits)
+			return nil, err
+		}
+		select {
+		case we := <-exits:
+			if err := c.handleExit(we); err != nil {
+				c.drain(exits)
+				return nil, err
+			}
+		case <-tick.C:
+			c.checkHeartbeats()
+		case <-c.ctx.Done():
+			c.drain(exits)
+			return nil, fmt.Errorf("shard: drained: %w", context.Cause(c.ctx))
+		}
+	}
+	return c.merge(n, copts)
+}
+
+// recover adopts slab results a previous run already made durable.
+func (c *coordinator) recover() {
+	for k := range c.slabs {
+		data, err := os.ReadFile(resultPath(c.opts.Dir, k))
+		if err != nil {
+			continue
+		}
+		res, err := c.validateResult(data, k)
+		if err != nil {
+			c.quarantine(k, err)
+			continue
+		}
+		c.slabs[k].status = slabDone
+		c.slabs[k].result = res
+		c.res.Recovered++
+		c.ev.emit(Event{Type: EventRecovered, Slab: k, Windows: res.Best, Power: float64(res.BestValue)})
+		c.opts.Logf("shard: slab %d recovered from spool", k)
+	}
+}
+
+func (c *coordinator) validateResult(data []byte, slab int) (*SlabResult, error) {
+	res, err := ParseSlabResult(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.ValidateFor(c.m, c.hash, slab); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// quarantine renames a bad result file aside (never deletes it — the
+// bytes are evidence) so the slab can be re-run.
+func (c *coordinator) quarantine(k int, cause error) {
+	path := resultPath(c.opts.Dir, k)
+	q := fmt.Sprintf("%s.quarantine-%d", path, c.res.Quarantined)
+	if err := os.Rename(path, q); err != nil {
+		// Removal beats re-reading the same bad bytes forever.
+		_ = os.Remove(path)
+	}
+	c.res.Quarantined++
+	c.ev.emit(Event{Type: EventQuarantine, Slab: k, Error: cause.Error()})
+	c.opts.Logf("shard: slab %d result quarantined: %v", k, cause)
+}
+
+func (c *coordinator) settled() bool {
+	for k := range c.slabs {
+		if s := c.slabs[k].status; s != slabDone && s != slabLost {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *coordinator) runningCount() int {
+	n := 0
+	for k := range c.slabs {
+		if c.slabs[k].status == slabRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// launchEligible starts pending slabs (whose backoff has elapsed) up to
+// the process budget. A launch failure consumes a retry; the returned
+// error is the lost-slab quota being exceeded.
+func (c *coordinator) launchEligible(exits chan workerExit) error {
+	now := time.Now()
+	for k := range c.slabs {
+		if c.runningCount() >= c.opts.Procs {
+			return nil
+		}
+		s := &c.slabs[k]
+		if s.status != slabPending || now.Before(s.notBefore) {
+			continue
+		}
+		if err := c.launch(k, exits); err != nil {
+			if ferr := c.fail(k, fmt.Errorf("launching worker: %w", err)); ferr != nil {
+				return ferr
+			}
+		}
+	}
+	return nil
+}
+
+func (c *coordinator) launch(k int, exits chan workerExit) error {
+	argv := c.opts.WorkerArgv
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), c.opts.ExtraEnv...)
+	cmd.Env = append(cmd.Env,
+		EnvDir+"="+c.opts.Dir,
+		EnvSlab+"="+fmt.Sprint(k),
+	)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	// Stale heartbeat from a previous attempt must not count as progress.
+	_ = os.Remove(hbPath(c.opts.Dir, k))
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s := &c.slabs[k]
+	s.status = slabRunning
+	s.attempts++
+	s.att = &attempt{cmd: cmd, lastSeen: time.Now()}
+	c.ev.emit(Event{Type: EventLaunched, Slab: k, Attempt: s.attempts})
+	c.opts.Logf("shard: slab %d launched (attempt %d, pid %d)", k, s.attempts, cmd.Process.Pid)
+	att := s.att
+	go func() { exits <- workerExit{slab: k, att: att, err: cmd.Wait()} }()
+	return nil
+}
+
+// handleExit classifies a worker's death. Exit 0 must be backed by a
+// valid result file; everything else fails the attempt.
+func (c *coordinator) handleExit(we workerExit) error {
+	s := &c.slabs[we.slab]
+	if s.att != we.att {
+		return nil // an exit from a superseded attempt; already accounted
+	}
+	s.att = nil
+	s.status = slabPending
+
+	if we.att.killed {
+		c.res.Reassigned++
+		c.ev.emit(Event{Type: EventReassigned, Slab: we.slab, Attempt: s.attempts})
+		return c.fail(we.slab, fmt.Errorf("no heartbeat progress within %v; worker killed", c.opts.SlabDeadline))
+	}
+	if we.err == nil {
+		data, err := os.ReadFile(resultPath(c.opts.Dir, we.slab))
+		if err == nil {
+			res, verr := c.validateResult(data, we.slab)
+			if verr == nil {
+				s.status = slabDone
+				s.result = res
+				c.ev.emit(Event{Type: EventDone, Slab: we.slab, Attempt: s.attempts,
+					Windows: res.Best, Power: float64(res.BestValue)})
+				c.opts.Logf("shard: slab %d done (best %v, value %v)", we.slab, res.Best, float64(res.BestValue))
+				return nil
+			}
+			c.quarantine(we.slab, verr)
+			return c.fail(we.slab, fmt.Errorf("torn or mismatched result: %w", verr))
+		}
+		return c.fail(we.slab, fmt.Errorf("worker exited 0 without a result file: %w", err))
+	}
+	if code := exitCode(we.err); code == ExitUsage {
+		// Contract violation: retrying the same exec cannot succeed.
+		return fmt.Errorf("shard: slab %d worker rejected the environment contract (exit %d)", we.slab, code)
+	}
+	return c.fail(we.slab, fmt.Errorf("worker exited: %v", we.err))
+}
+
+// fail accounts one failed attempt: schedule a backoff-paced relaunch
+// within the retry budget, or declare the slab lost — tolerated inside
+// the AllowLost quota, fatal beyond it.
+func (c *coordinator) fail(k int, cause error) error {
+	s := &c.slabs[k]
+	s.failures++
+	if s.failures <= c.opts.MaxRetries {
+		c.res.Retries++
+		delay := service.BackoffDelay(s.failures - 1)
+		s.status = slabPending
+		s.notBefore = time.Now().Add(delay)
+		c.ev.emit(Event{Type: EventRetry, Slab: k, Attempt: s.attempts,
+			Error: cause.Error(), BackoffMS: delay.Milliseconds()})
+		c.opts.Logf("shard: slab %d attempt %d failed (%v); retry in %v", k, s.attempts, cause, delay)
+		return nil
+	}
+	s.status = slabLost
+	reason := fmt.Sprintf("%d attempts failed; last: %v", s.failures, cause)
+	c.res.Degraded = append(c.res.Degraded, Degraded{Slab: k, Reason: reason})
+	c.ev.emit(Event{Type: EventLost, Slab: k, Attempt: s.attempts, Error: reason})
+	c.opts.Logf("shard: slab %d lost: %s", k, reason)
+	if len(c.res.Degraded) > c.opts.AllowLost {
+		return fmt.Errorf("shard: %d slabs lost exceeds the degradation quota %d; slab %d: %v",
+			len(c.res.Degraded), c.opts.AllowLost, k, cause)
+	}
+	return nil
+}
+
+// checkHeartbeats kills workers whose progress file has not advanced
+// within the slab deadline; the exit handler then reassigns the slab.
+func (c *coordinator) checkHeartbeats() {
+	now := time.Now()
+	for k := range c.slabs {
+		s := &c.slabs[k]
+		if s.status != slabRunning || s.att == nil || s.att.killed {
+			continue
+		}
+		hb := ""
+		if b, err := os.ReadFile(hbPath(c.opts.Dir, k)); err == nil {
+			hb = string(b)
+		}
+		if hb != s.att.lastHB {
+			s.att.lastHB = hb
+			s.att.lastSeen = now
+			continue
+		}
+		if now.Sub(s.att.lastSeen) > c.opts.SlabDeadline {
+			s.att.killed = true
+			c.ev.emit(Event{Type: EventDeadline, Slab: k, Attempt: s.attempts})
+			c.opts.Logf("shard: slab %d heartbeat stalled; killing pid %d", k, s.att.cmd.Process.Pid)
+			_ = s.att.cmd.Process.Kill()
+		}
+	}
+}
+
+// drain SIGTERMs every live worker so each checkpoints its slab, then
+// collects their exits (escalating to SIGKILL after a grace period).
+func (c *coordinator) drain(exits chan workerExit) {
+	c.ev.emit(Event{Type: EventDrain, Slab: -1})
+	live := 0
+	for k := range c.slabs {
+		if s := &c.slabs[k]; s.status == slabRunning && s.att != nil {
+			live++
+			_ = s.att.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	grace := time.After(10 * time.Second)
+	for live > 0 {
+		select {
+		case we := <-exits:
+			if s := &c.slabs[we.slab]; s.att == we.att {
+				s.att = nil
+				s.status = slabPending
+				live--
+			}
+		case <-grace:
+			for k := range c.slabs {
+				if s := &c.slabs[k]; s.status == slabRunning && s.att != nil {
+					_ = s.att.cmd.Process.Kill()
+				}
+			}
+			grace = time.After(10 * time.Second)
+		}
+	}
+	c.opts.Logf("shard: drained; every live slab checkpointed")
+}
+
+// merge folds the surviving slab optima with the deterministic
+// (value, then lexicographically earliest point) rule and evaluates the
+// winner's metrics through the same engine path Dimension reports with.
+func (c *coordinator) merge(n *netmodel.Network, copts core.Options) (*Result, error) {
+	var best numeric.IntVector
+	bestV := 0.0
+	for k := range c.slabs {
+		s := &c.slabs[k]
+		if s.status != slabDone {
+			continue
+		}
+		c.res.Evaluations += s.result.Evaluations
+		c.res.NonConverged += s.result.NonConverged
+		if s.result.Best == nil {
+			continue
+		}
+		p := numeric.IntVector(s.result.Best)
+		v := float64(s.result.BestValue)
+		if improves(v, p, bestV, best) {
+			best, bestV = p, v
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("shard: no feasible window setting in any surviving slab")
+	}
+	c.res.Windows = best
+	c.res.BestValue = bestV
+
+	scanner, err := core.NewBoxScanner(n, copts)
+	if err != nil {
+		return nil, err
+	}
+	m, err := scanner.Metrics(best)
+	if err != nil {
+		return nil, err
+	}
+	c.res.Metrics = m
+	c.ev.emit(Event{Type: EventMerged, Slab: -1, Windows: best, Power: bestV})
+	c.opts.Logf("shard: merged optimum %v (value %v)", best, bestV)
+	return &c.res, nil
+}
+
+// exitCode extracts a worker's exit status; -1 when it died on a signal
+// or never ran.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}

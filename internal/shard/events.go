@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one line of the coordinator's NDJSON progress stream,
+// structurally consistent with the windimd job event feed
+// (service.Event): the shared seq/type/at/attempt/windows/power/error
+// spine, plus the shard-specific slab and backoff fields. Run-level
+// events (plan, drain, merged) carry Slab == -1.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"`
+	At   time.Time `json:"at"`
+	Slab int       `json:"slab"`
+	// Attempt counts launches of this slab, 1-based.
+	Attempt int `json:"attempt,omitempty"`
+	// Windows and Power carry a slab optimum (done events) or the merged
+	// optimum (merged event). Power is the objective value (1/power), the
+	// quantity the search minimises, mirroring service.Event.
+	Windows []int   `json:"windows,omitempty"`
+	Power   float64 `json:"power,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	// BackoffMS is the retry delay scheduled after a failure.
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// Slabs and Axis describe the partition (plan event only).
+	Slabs int `json:"slabs,omitempty"`
+	Axis  int `json:"axis,omitempty"`
+}
+
+// Event types emitted by the coordinator.
+const (
+	EventPlan       = "plan"       // partition chosen, manifest durable
+	EventRecovered  = "recovered"  // slab satisfied by a result already in the spool
+	EventLaunched   = "launched"   // worker process started
+	EventDone       = "done"       // slab result validated and merged in
+	EventRetry      = "retry"      // attempt failed, relaunch scheduled with backoff
+	EventDeadline   = "deadline"   // heartbeat stalled past the slab deadline, worker killed
+	EventReassigned = "reassigned" // killed straggler's slab queued for another worker
+	EventQuarantine = "quarantine" // torn/mismatched slab result renamed aside
+	EventLost       = "lost"       // slab abandoned after exhausting its retry budget
+	EventDrain      = "drain"      // SIGTERM received, workers asked to checkpoint and exit
+	EventMerged     = "merged"     // all slabs accounted for, merged optimum final
+)
+
+// eventLog serialises the progress stream. A nil writer disables it.
+type eventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	seq int
+}
+
+func newEventLog(w io.Writer) *eventLog {
+	l := &eventLog{w: w}
+	if w != nil {
+		l.enc = json.NewEncoder(w)
+	}
+	return l
+}
+
+// emit stamps seq and time and writes one NDJSON line. Encode errors are
+// deliberately dropped: progress reporting must never fail the search.
+func (l *eventLog) emit(e Event) {
+	if l == nil || l.enc == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.At = time.Now().UTC()
+	_ = l.enc.Encode(e)
+}

@@ -1,0 +1,375 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/pattern"
+)
+
+// Worker process exit codes, part of the coordinator↔worker contract.
+const (
+	// ExitOK: slab scanned to completion, result written durably.
+	ExitOK = 0
+	// ExitFail: the worker died (crash, bad spool, evaluation error).
+	ExitFail = 1
+	// ExitUsage: the environment contract was violated (missing/bad
+	// SHARD_DIR or SHARD_SLAB) — retrying cannot help.
+	ExitUsage = 2
+	// ExitDrained: the worker was asked to stop (SIGTERM/SIGINT) and
+	// exited cleanly with every completed stride checkpointed.
+	ExitDrained = 3
+)
+
+// Environment contract of worker mode. The coordinator execs the worker
+// binary with these set; SHARD_FAULT is the fault-injection hook used by
+// the chaos tests and the CI chaos smoke job.
+const (
+	// EnvDir is the spool directory (must contain manifest.json).
+	EnvDir = "SHARD_DIR"
+	// EnvSlab is the slab index to scan.
+	EnvSlab = "SHARD_SLAB"
+	// EnvFault is a comma-separated list of kind:slabN fault injections,
+	// e.g. "crash:slab2,hang:slab0". Kinds: crash (exit 1 after the first
+	// checkpointed stride, once), hang (stall silently mid-slab, once),
+	// torn (write a torn result file, once), crash-always (crash after
+	// every first stride, never completing). One-shot kinds arm a marker
+	// file in the spool so the fault fires on exactly one attempt.
+	EnvFault = "SHARD_FAULT"
+)
+
+// ErrDrained reports a worker stopped by SIGTERM/SIGINT with its
+// progress checkpointed; the coordinator (or a rerun) resumes the slab
+// from the checkpoint.
+var ErrDrained = errors.New("shard: worker drained")
+
+// WorkerMain is the entry point of worker mode (`windim -shard-worker`
+// and cmd/windim-shard's hidden worker flag). It reads the environment
+// contract, runs the slab, and maps the outcome onto the exit-code
+// contract.
+func WorkerMain() int {
+	dir := os.Getenv(EnvDir)
+	slabStr := os.Getenv(EnvSlab)
+	if dir == "" || slabStr == "" {
+		fmt.Fprintf(os.Stderr, "shard-worker: %s and %s must be set\n", EnvDir, EnvSlab)
+		return ExitUsage
+	}
+	slab, err := strconv.Atoi(slabStr)
+	if err != nil || slab < 0 {
+		fmt.Fprintf(os.Stderr, "shard-worker: bad %s=%q\n", EnvSlab, slabStr)
+		return ExitUsage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if err := RunWorker(ctx, dir, slab); err != nil {
+		if errors.Is(err, ErrDrained) {
+			fmt.Fprintf(os.Stderr, "shard-worker: slab %d drained\n", slab)
+			return ExitDrained
+		}
+		fmt.Fprintf(os.Stderr, "shard-worker: slab %d: %v\n", slab, err)
+		return ExitFail
+	}
+	return ExitOK
+}
+
+// RunWorker scans one slab of the manifest in dir: resume from the
+// slab's checkpoint if one exists, scan the remaining strides (one full
+// sub-box per value of the partition axis, checkpointing durably after
+// each), and write the slab result durably. It honours the SHARD_FAULT
+// injection contract and exits with ErrDrained when ctx is cancelled.
+func RunWorker(ctx context.Context, dir string, slab int) error {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return err
+	}
+	hash := Hash(data)
+	if slab >= len(m.Slabs) {
+		return fmt.Errorf("shard: slab %d out of range (%d slabs)", slab, len(m.Slabs))
+	}
+	n, err := m.network()
+	if err != nil {
+		return err
+	}
+	opts, err := m.coreOptions()
+	if err != nil {
+		return err
+	}
+	opts.Context = ctx
+	lo, hi := m.slabBox(slab)
+	if opts.ExactEngine {
+		// Bound the convolution oracle to the slab's own corner: the
+		// lattice never grows beyond what this slab can query, and any
+		// candidate an unbounded oracle would also have declined falls
+		// through to the exact recursion identically — so slab values
+		// stay bit-identical to the single-process run.
+		opts.OracleBox = hi.Clone()
+	}
+	faults := parseFaults(os.Getenv(EnvFault))[slab]
+
+	st, err := loadSlabState(dir, slab, hash, len(m.Lo))
+	if err != nil {
+		return err
+	}
+	if st.next < lo[m.Axis] {
+		st.next = lo[m.Axis]
+	}
+
+	ckpt, err := openSlabCkpt(dir, slab, hash, len(m.Lo), st)
+	if err != nil {
+		return err
+	}
+	defer ckpt.Close()
+
+	scanner, err := core.NewBoxScanner(n, opts)
+	if err != nil {
+		return err
+	}
+
+	for v := st.next; v <= hi[m.Axis]; v++ {
+		writeHeartbeat(dir, slab, v)
+		if faults == "hang" && v > lo[m.Axis] && fireOnce(dir, slab, "hang") {
+			// Simulate a stuck solve: stop advancing the heartbeat and
+			// block until the coordinator's deadline kills us (or a
+			// drain signal arrives).
+			fmt.Fprintf(os.Stderr, "shard-worker: fault hang armed on slab %d at stride %d\n", slab, v)
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %v", ErrDrained, context.Cause(ctx))
+			case <-time.After(10 * time.Minute):
+				return fmt.Errorf("shard: hang fault expired unobserved")
+			}
+		}
+		sLo, sHi := lo.Clone(), hi.Clone()
+		sLo[m.Axis], sHi[m.Axis] = v, v
+		sres, err := scanner.Scan(sLo, sHi)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w: %v", ErrDrained, context.Cause(ctx))
+			}
+			return err
+		}
+		if sres.Best != nil && improves(sres.BestValue, sres.Best, st.bestValue, st.best) {
+			st.best = sres.Best.Clone()
+			st.bestValue = sres.BestValue
+		}
+		st.strides++
+		rec := ckptRecord{
+			Stride:       v,
+			BestValue:    pattern.JSONFloat(st.bestValue),
+			Evaluations:  st.baseEvals + scanner.Evaluations(),
+			NonConverged: st.baseNonConv + scanner.NonConverged(),
+		}
+		if st.best != nil {
+			rec.Best = st.best.Key()
+		}
+		if err := ckpt.append(rec); err != nil {
+			return err
+		}
+		switch faults {
+		case "crash":
+			if fireOnce(dir, slab, "crash") {
+				fmt.Fprintf(os.Stderr, "shard-worker: fault crash on slab %d after stride %d\n", slab, v)
+				os.Exit(ExitFail) // abrupt death; the stride above is already fsynced
+			}
+		case "crash-always":
+			fmt.Fprintf(os.Stderr, "shard-worker: fault crash-always on slab %d after stride %d\n", slab, v)
+			os.Exit(ExitFail)
+		}
+	}
+
+	res := SlabResult{
+		Version:      FormatVersion,
+		Kind:         resultKind,
+		ManifestHash: hash,
+		Slab:         slab,
+		BestValue:    pattern.JSONFloat(st.bestValue),
+		Evaluations:  st.baseEvals + scanner.Evaluations(),
+		NonConverged: st.baseNonConv + scanner.NonConverged(),
+		Strides:      hi[m.Axis] - lo[m.Axis] + 1,
+		Resumed:      st.resumed,
+	}
+	if st.best != nil {
+		res.Best = append([]int(nil), st.best...)
+	}
+	out, err := json.Marshal(&res)
+	if err != nil {
+		return err
+	}
+	if faults == "torn" && fireOnce(dir, slab, "torn") {
+		// Simulate a crash mid-write of a non-atomic result: a truncated
+		// prefix left at the final path. The coordinator must quarantine
+		// it and re-run the slab (which resumes from the checkpoint).
+		fmt.Fprintf(os.Stderr, "shard-worker: fault torn result on slab %d\n", slab)
+		return os.WriteFile(resultPath(dir, slab), out[:len(out)/2], 0o644)
+	}
+	return pattern.WriteDurable(resultPath(dir, slab), out)
+}
+
+// slabState is the worker's resumable progress.
+type slabState struct {
+	next      int // first stride not yet scanned
+	best      numeric.IntVector
+	bestValue float64
+	// baseEvals/baseNonConv carry counters from previous attempts.
+	baseEvals   int
+	baseNonConv int
+	strides     int
+	resumed     bool
+}
+
+// loadSlabState reads the slab's checkpoint if one exists. A checkpoint
+// whose header does not match this search (different manifest, slab or
+// dimension) or does not parse at all is quarantined — renamed aside,
+// not deleted — and the slab starts fresh; losing an attempt's progress
+// is recoverable, silently mixing two searches is not.
+func loadSlabState(dir string, slab int, hash string, dim int) (*slabState, error) {
+	st := &slabState{next: -1 << 62, bestValue: math.Inf(1)}
+	path := ckptPath(dir, slab)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading slab checkpoint: %w", err)
+	}
+	cp, perr := ParseSlabCheckpoint(data)
+	if perr == nil && (cp.Header.ManifestHash != hash || cp.Header.Slab != slab || cp.Header.Dim != dim) {
+		perr = fmt.Errorf("shard: checkpoint belongs to a different search or slab")
+	}
+	if perr != nil {
+		q := path + ".quarantine"
+		if rerr := os.Rename(path, q); rerr != nil {
+			return nil, fmt.Errorf("shard: quarantining bad checkpoint (%v): %w", perr, rerr)
+		}
+		fmt.Fprintf(os.Stderr, "shard-worker: quarantined checkpoint for slab %d: %v\n", slab, perr)
+		return st, nil
+	}
+	if cp.Last == nil {
+		return st, nil
+	}
+	st.next = cp.Last.Stride + 1
+	st.bestValue = float64(cp.Last.BestValue)
+	st.baseEvals = cp.Last.Evaluations
+	st.baseNonConv = cp.Last.NonConverged
+	st.strides = cp.Records
+	st.resumed = true
+	if cp.Last.Best != "" {
+		p, err := parsePointKey(cp.Last.Best, dim)
+		if err != nil {
+			return nil, err
+		}
+		st.best = p
+	}
+	return st, nil
+}
+
+// slabCkpt appends fsynced NDJSON records to the slab checkpoint.
+type slabCkpt struct{ f *os.File }
+
+// openSlabCkpt (re)establishes the checkpoint file: it rewrites the
+// durable prefix — header plus, on resume, the last cumulative record —
+// with the temp+fsync+rename protocol (truncating any torn tail a crash
+// left behind), then opens it for fsynced appends.
+func openSlabCkpt(dir string, slab int, hash string, dim int, st *slabState) (*slabCkpt, error) {
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	if err := enc.Encode(ckptHeader{
+		Version: FormatVersion, Kind: ckptKind, ManifestHash: hash, Slab: slab, Dim: dim,
+	}); err != nil {
+		return nil, err
+	}
+	if st.resumed {
+		rec := ckptRecord{
+			Stride:       st.next - 1,
+			BestValue:    pattern.JSONFloat(st.bestValue),
+			Evaluations:  st.baseEvals,
+			NonConverged: st.baseNonConv,
+		}
+		if st.best != nil {
+			rec.Best = st.best.Key()
+		}
+		if err := enc.Encode(rec); err != nil {
+			return nil, err
+		}
+	}
+	path := ckptPath(dir, slab)
+	if err := pattern.WriteDurable(path, []byte(sb.String())); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &slabCkpt{f: f}, nil
+}
+
+// append writes one record line and fsyncs before returning, so a
+// record's durability is established before any fault can fire.
+func (c *slabCkpt) append(rec ckptRecord) error {
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+func (c *slabCkpt) Close() error { return c.f.Close() }
+
+// writeHeartbeat publishes the stride the worker is about to scan. It is
+// advisory liveness (progress) information, deliberately not fsynced.
+func writeHeartbeat(dir string, slab, stride int) {
+	_ = os.WriteFile(hbPath(dir, slab), []byte(strconv.Itoa(stride)), 0o644)
+}
+
+// parseFaults decodes the SHARD_FAULT contract ("crash:slab2,hang:slab0")
+// into slab → fault kind. Malformed entries are ignored: a typo in a
+// debugging hook must never take down a production worker.
+func parseFaults(spec string) map[int]string {
+	out := map[int]string{}
+	for _, part := range strings.Split(spec, ",") {
+		kind, target, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || !strings.HasPrefix(target, "slab") {
+			continue
+		}
+		k, err := strconv.Atoi(strings.TrimPrefix(target, "slab"))
+		if err != nil || k < 0 {
+			continue
+		}
+		switch kind {
+		case "crash", "hang", "torn", "crash-always":
+			out[k] = kind
+		}
+	}
+	return out
+}
+
+// fireOnce arms a one-shot fault: the first caller to create the marker
+// file wins and fires; every later attempt sees the marker and runs
+// clean. The marker lives in the spool so it survives the crash it
+// provokes.
+func fireOnce(dir string, slab int, kind string) bool {
+	f, err := os.OpenFile(faultMarkerPath(dir, slab, kind), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
