@@ -1,29 +1,44 @@
 // Command windim-shard runs the fault-tolerant sharded exhaustive
 // search: it slab-partitions the window box along one class axis,
 // launches worker processes over a fsynced spool directory, supervises
-// them (heartbeats, deadlines, backoff-paced retries, quarantine of torn
-// results, graceful degradation of permanently lost slabs), and merges
-// the per-slab optima into a result bit-identical to the single-process
-// `windim -search exhaustive` run.
+// them (lease-fenced slab ownership, heartbeats, deadlines,
+// backoff-paced retries, per-host health with blacklisting, quarantine
+// of torn or stale-epoch results, graceful degradation of permanently
+// lost slabs and hosts), and merges the per-slab optima into a result
+// bit-identical to the single-process `windim -search exhaustive` run.
 //
 // Usage:
 //
 //	windim-shard -example canada2 -rates 20,20 -max-window 8 -spool /tmp/spool
 //	windim-shard -spec network.json -procs 4 -slabs 8 -evaluator exact -exact-engine
 //	windim-shard -example canada2 -max-window 6 -spool s -progress events.ndjson
+//	windim-shard -example canada2 -max-window 6 -spool /mnt/nfs/spool \
+//	    -transport ssh -hosts node1,node2 -max-hosts-lost 1
+//
+// Transports. -transport local (default) runs workers as children of
+// this process. -transport ssh launches them through the system ssh
+// client on the -hosts fleet; the spool must resolve to the same shared
+// storage on every host, and the worker binary must exist at the same
+// path remotely. -transport fake simulates a multi-host fleet
+// in-process (workers are goroutines) for chaos tests and CI smokes;
+// the SHARD_FAKE_CHAOS environment variable ("hostdown:slab1",
+// "partition:slab2") injects machine loss and network partitions keyed
+// on durable spool state.
 //
 // By default the coordinator re-execs its own binary in worker mode
 // (the hidden -shard-worker flag); -worker-cmd points at a different
 // worker binary, e.g. `windim -shard-worker`. Re-running over the same
 // spool resumes: finished slabs are recovered from their durable
-// results without relaunch and interrupted slabs resume from their
-// delta checkpoints. SIGTERM drains — every live worker checkpoints its
-// slab before exit — so the next run picks up where this one stopped.
+// results without relaunch, slabs whose lease is still live are adopted
+// rather than double-launched, and interrupted slabs resume from their
+// delta checkpoints. SIGTERM drains — every reachable worker
+// checkpoints its slab before exit — so the next run picks up where
+// this one stopped.
 //
-// The SHARD_FAULT environment variable ("crash:slab2,hang:slab0") is a
-// fault-injection hook honoured by worker mode; the chaos tests and the
-// CI chaos smoke job use it to prove crash recovery and merge
-// determinism.
+// The SHARD_FAULT environment variable ("crash:slab2,hang:slab0",
+// "partition:slab1", "zombie:slab0") is a fault-injection hook honoured
+// by worker mode; the chaos tests and the CI chaos smoke jobs use it to
+// prove crash recovery, lease fencing and merge determinism.
 package main
 
 import (
@@ -41,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/shard"
+	"repro/internal/shard/transport"
 )
 
 func main() {
@@ -64,13 +80,20 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "search goroutines inside each worker process")
 	noFallback := fs.Bool("no-fallback", false, "disable the resilient solver chain in the workers")
 	exactEngine := fs.Bool("exact-engine", false, "serve exact evaluations from a slab-bounded convolution lattice per worker")
-	spool := fs.String("spool", "", "spool directory for manifest, slab checkpoints and results (required; reuse to resume)")
+	spool := fs.String("spool", "", "spool directory for manifest, leases, slab checkpoints and results (required; reuse to resume)")
+	transportName := fs.String("transport", "local", "worker transport: local, ssh, fake")
+	hosts := fs.String("hosts", "", "comma-separated worker hosts (ssh and fake transports)")
+	sshClient := fs.String("ssh", "ssh", "ssh client binary (ssh transport)")
+	sshOpts := fs.String("ssh-opts", "", "extra ssh client options, space-separated, e.g. '-p 2222' (ssh transport)")
 	procs := fs.Int("procs", 2, "concurrently running worker processes")
 	slabs := fs.Int("slabs", 0, "slab count (0 = 2x procs, clamped to the axis width)")
 	axis := fs.Int("axis", -1, "class axis to partition (-1 = widest)")
 	retries := fs.Int("retries", 2, "relaunches per slab beyond the first attempt before it is lost")
 	allowLost := fs.Int("allow-lost", 0, "tolerate up to this many lost slabs, degrading gracefully with recorded reasons")
+	maxHostsLost := fs.Int("max-hosts-lost", 0, "tolerate up to this many permanently lost hosts, redistributing their slabs")
+	leaseTTL := fs.Duration("lease-ttl", shard.DefaultLeaseTTL, "slab lease renewal deadline (bounds the zombie window and adoption wait)")
 	slabDeadline := fs.Duration("slab-deadline", 2*time.Minute, "per-stride progress deadline before a worker is presumed hung and its slab reassigned")
+	killGrace := fs.Duration("kill-grace", 10*time.Second, "how long a kill waits for the worker's exit before the attempt is superseded")
 	workerCmd := fs.String("worker-cmd", "", "worker command line (default: this binary with -shard-worker)")
 	progress := fs.String("progress", "", "append the NDJSON progress event stream to this file ('-' = stderr)")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +146,11 @@ func run(args []string) error {
 		argv = strings.Fields(*workerCmd)
 	}
 
+	tr, err := buildTransport(*transportName, *hosts, *sshClient, *sshOpts)
+	if err != nil {
+		return err
+	}
+
 	var progW io.Writer
 	switch *progress {
 	case "":
@@ -137,7 +165,7 @@ func run(args []string) error {
 		progW = f
 	}
 
-	// SIGTERM/Ctrl-C drains: every live worker checkpoints its slab
+	// SIGTERM/Ctrl-C drains: every reachable worker checkpoints its slab
 	// before exit, and re-running over the spool resumes the search.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -145,12 +173,16 @@ func run(args []string) error {
 	res, err := shard.Run(n, copts, shard.Options{
 		Dir:          *spool,
 		WorkerArgv:   argv,
+		Transport:    tr,
 		Procs:        *procs,
 		Slabs:        *slabs,
 		Axis:         *axis,
 		MaxRetries:   *retries,
 		AllowLost:    *allowLost,
+		MaxHostsLost: *maxHostsLost,
+		LeaseTTL:     *leaseTTL,
 		SlabDeadline: *slabDeadline,
+		KillGrace:    *killGrace,
 		Progress:     progW,
 		Context:      ctx,
 		Logf: func(format string, a ...any) {
@@ -172,10 +204,42 @@ func run(args []string) error {
 		report.Float(res.Metrics.Delay, 4))
 	fmt.Printf("\nsearch: %d objective evaluations, %d non-converged candidates\n",
 		res.Evaluations, res.NonConverged)
-	fmt.Printf("shards: %d recovered, %d retries, %d reassigned, %d quarantined\n",
-		res.Recovered, res.Retries, res.Reassigned, res.Quarantined)
+	fmt.Printf("shards: %d recovered, %d adopted, %d retries, %d reassigned, %d superseded, %d fenced, %d quarantined\n",
+		res.Recovered, res.Adopted, res.Retries, res.Reassigned, res.Superseded, res.Fenced, res.Quarantined)
 	for _, d := range res.Degraded {
 		fmt.Printf("degraded slab %d: %s\n", d.Slab, d.Reason)
 	}
+	for _, h := range res.HostsLost {
+		fmt.Printf("lost host %s: slabs redistributed\n", h)
+	}
 	return nil
+}
+
+// buildTransport resolves the -transport/-hosts flags. nil means the
+// local transport (the shard package's default).
+func buildTransport(name, hosts, sshClient, sshOpts string) (transport.Transport, error) {
+	var fleet []string
+	for _, h := range strings.Split(hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			fleet = append(fleet, h)
+		}
+	}
+	switch name {
+	case "local":
+		if len(fleet) > 0 {
+			return nil, fmt.Errorf("-hosts only applies to the ssh and fake transports")
+		}
+		return nil, nil
+	case "ssh":
+		if len(fleet) == 0 {
+			return nil, fmt.Errorf("-transport ssh requires -hosts")
+		}
+		return transport.NewSSH(fleet, sshClient, strings.Fields(sshOpts)...)
+	case "fake":
+		if len(fleet) == 0 {
+			fleet = []string{"sim0", "sim1"}
+		}
+		return transport.NewFake(fleet, shard.WorkerEnvMain, os.Getenv(transport.ChaosEnv))
+	}
+	return nil, fmt.Errorf("unknown transport %q (local, ssh, fake)", name)
 }

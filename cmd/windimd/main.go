@@ -24,6 +24,12 @@
 // journal is flushed, and the process exits 0. Jobs interrupted by a
 // drain — or by a crash — are re-admitted on the next start from the
 // same spool.
+//
+// Jobs submitted with "kind":"shard" run the exhaustive search through
+// the multi-process sharded coordinator (internal/shard): the daemon
+// relaunches itself as slab workers via the hidden -shard-worker mode,
+// and the coordinator spool lives next to the job record so drains and
+// crashes resume mid-slab.
 package main
 
 import (
@@ -42,9 +48,15 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
+	// Hidden worker mode: kind:"shard" jobs relaunch this executable as
+	// slab workers; the slab contract travels in the environment.
+	if len(os.Args) == 2 && os.Args[1] == "-shard-worker" {
+		os.Exit(shard.WorkerMain())
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "windimd:", err)
 		os.Exit(1)

@@ -1,0 +1,28 @@
+// Package backoff holds the retry-pacing policy shared by the windimd
+// job runner (internal/service) and the sharded-search coordinator
+// (internal/shard). It sits below both so the coordinator can pace
+// relaunches with the daemon's discipline while the daemon drives
+// kind:"shard" jobs through the coordinator — no import cycle.
+package backoff
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Delay is the exponential backoff before the next attempt after
+// `retries` recorded failures: base 100ms doubling per retry, capped at
+// 5s, plus up to 50% uniform jitter so a burst of failing jobs does not
+// retry in lockstep. Negative counts are clamped to zero (the first
+// retry's delay) — a caller miscounting must get a sane pause, not a
+// negative-shift panic.
+func Delay(retries int) time.Duration {
+	if retries < 0 {
+		retries = 0
+	}
+	base := 100 * time.Millisecond << min(retries, 6)
+	if base > 5*time.Second {
+		base = 5 * time.Second
+	}
+	return base + time.Duration(rand.Int64N(int64(base)/2+1))
+}

@@ -37,6 +37,13 @@ type JobSpec struct {
 	// ID names the job; [A-Za-z0-9._-], at most 64 runes. Empty means the
 	// server assigns a random one. IDs are also spool file names.
 	ID string `json:"id,omitempty"`
+	// Kind selects the search machinery: "dimension" (default) runs the
+	// pattern search in-process; "shard" runs the sharded exhaustive
+	// search — the internal/shard coordinator supervising worker
+	// processes over a per-job spool kept next to the journal record.
+	Kind string `json:"kind,omitempty"`
+	// Shard tunes kind:"shard" jobs; nil takes every coordinator default.
+	Shard *ShardSpec `json:"shard,omitempty"`
 	// Network is an inline JSON network spec (netmodel.ParseSpec).
 	Network json.RawMessage `json:"network,omitempty"`
 	// Example is a built-in example name: canada2, canada4, tandemN.
@@ -89,6 +96,31 @@ type JobSpec struct {
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
+// ShardSpec is the wire form of a kind:"shard" job's coordinator knobs
+// (see internal/shard.Options). Zero values take coordinator defaults.
+type ShardSpec struct {
+	// Procs bounds concurrently running worker processes (0 = 2).
+	Procs int `json:"procs,omitempty"`
+	// Slabs is the partition arity (0 = 2×procs, clamped to the axis).
+	Slabs int `json:"slabs,omitempty"`
+	// Axis is the class axis to partition; nil (or -1) picks the widest.
+	Axis *int `json:"axis,omitempty"`
+	// SlabRetries bounds relaunches per slab beyond the first attempt;
+	// nil means the coordinator default (2), 0 disables slab retries.
+	SlabRetries *int `json:"slab_retries,omitempty"`
+	// AllowLost tolerates up to this many lost slabs, degrading
+	// gracefully with recorded reasons.
+	AllowLost int `json:"allow_lost,omitempty"`
+	// MaxHostsLost tolerates up to this many permanently lost worker
+	// hosts, redistributing their slabs.
+	MaxHostsLost int `json:"max_hosts_lost,omitempty"`
+	// LeaseTTLMS is the slab lease renewal deadline (0 = default 10s).
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// SlabDeadlineMS is the per-stride progress deadline before a worker
+	// is presumed hung and its slab reassigned (0 = default 2m).
+	SlabDeadlineMS int64 `json:"slab_deadline_ms,omitempty"`
+}
+
 // Job is a parsed, validated job: the resolved network and scenario set
 // plus the core options fragments the runner assembles per attempt.
 type Job struct {
@@ -106,6 +138,9 @@ type Job struct {
 
 // Robust reports whether the job dimensions against a scenario set.
 func (j *Job) Robust() bool { return len(j.Scenarios) > 0 }
+
+// Sharded reports whether the job runs the sharded exhaustive search.
+func (j *Job) Sharded() bool { return j.Spec.Kind == "shard" }
 
 // validID reports whether id is safe as a job name and spool file stem.
 func validID(id string) bool {
@@ -223,6 +258,40 @@ func ParseJob(data []byte) (*Job, error) {
 		job.Objective = core.ObjSumClassPower
 	default:
 		return nil, fmt.Errorf("service: unknown objective %q", spec.Objective)
+	}
+	switch spec.Kind {
+	case "", "dimension":
+		if spec.Shard != nil {
+			return nil, fmt.Errorf("service: shard settings require kind \"shard\"")
+		}
+	case "shard":
+		// The sharded coordinator runs the exhaustive search over the full
+		// window box: scenario sets, start vectors, and the per-candidate
+		// watchdog belong to the pattern search and would be silently
+		// meaningless here — reject rather than ignore.
+		if len(spec.Scenarios) > 0 {
+			return nil, fmt.Errorf("service: kind \"shard\" does not take scenarios (the exhaustive search is not robust)")
+		}
+		if spec.Start != nil {
+			return nil, fmt.Errorf("service: kind \"shard\" does not take a start vector (the exhaustive search scans the whole box)")
+		}
+		if spec.EvalTimeoutMS != 0 {
+			return nil, fmt.Errorf("service: kind \"shard\" does not take eval_timeout_ms (the coordinator's slab deadline handles stuck workers)")
+		}
+		if sh := spec.Shard; sh != nil {
+			if sh.Procs < 0 || sh.Slabs < 0 || sh.AllowLost < 0 || sh.MaxHostsLost < 0 ||
+				sh.LeaseTTLMS < 0 || sh.SlabDeadlineMS < 0 {
+				return nil, fmt.Errorf("service: negative shard settings")
+			}
+			if sh.Axis != nil && (*sh.Axis < -1 || *sh.Axis >= len(n.Classes)) {
+				return nil, fmt.Errorf("service: shard axis %d out of range for %d classes", *sh.Axis, len(n.Classes))
+			}
+			if sh.SlabRetries != nil && *sh.SlabRetries < 0 {
+				return nil, fmt.Errorf("service: negative slab_retries %d", *sh.SlabRetries)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown job kind %q (want dimension or shard)", spec.Kind)
 	}
 	if spec.MaxWindow < 0 {
 		return nil, fmt.Errorf("service: negative max_window %d", spec.MaxWindow)

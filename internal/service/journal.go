@@ -101,6 +101,7 @@ type Record struct {
 const (
 	recordSuffix     = ".job"
 	checkpointSuffix = ".ckpt"
+	shardDirSuffix   = ".shard"
 )
 
 // Journal is the spool-directory job journal. Each job owns two files:
@@ -132,6 +133,14 @@ func (j *Journal) RecordPath(id string) string {
 // CheckpointPath returns the search checkpoint file of a job id.
 func (j *Journal) CheckpointPath(id string) string {
 	return filepath.Join(j.dir, id+checkpointSuffix)
+}
+
+// ShardDir returns the coordinator spool of a kind:"shard" job —
+// manifest, leases, slab checkpoints and results — kept next to the
+// job record so restarts resume it. The journal scan skips directories,
+// so spools never masquerade as records.
+func (j *Journal) ShardDir(id string) string {
+	return filepath.Join(j.dir, id+shardDirSuffix)
 }
 
 // Write persists the record durably: temp file, fsync, rename, directory
@@ -219,10 +228,13 @@ func (j *Journal) Scan() (records []*Record, bad []string, err error) {
 	return records, bad, nil
 }
 
-// RetireCheckpoint removes a finished job's checkpoint and delta sidecar;
-// the journal record (with its result) remains. Best-effort: a leftover
-// checkpoint is ignored by every later run (terminal jobs never resume).
+// RetireCheckpoint removes a finished job's resumable state — the
+// search checkpoint with its delta sidecar, and a shard job's
+// coordinator spool; the journal record (with its result) remains.
+// Best-effort: leftovers are ignored by every later run (terminal jobs
+// never resume).
 func (j *Journal) RetireCheckpoint(id string) {
 	os.Remove(j.CheckpointPath(id))
 	os.Remove(j.CheckpointPath(id) + ".delta")
+	os.RemoveAll(j.ShardDir(id))
 }

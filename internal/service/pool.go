@@ -5,14 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"os"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/convolution"
 	"repro/internal/core"
 	"repro/internal/mva"
 	"repro/internal/numeric"
+	"repro/internal/shard"
 )
 
 // Cancellation causes. The runner distinguishes who killed an attempt:
@@ -29,27 +30,26 @@ var (
 
 // transientErr reports whether a failed attempt is worth retrying:
 // numerical instability, non-convergence, scenario-quorum aborts (often
-// watchdog trips under load), and evaluator panics can all clear on a
-// fresh attempt; spec errors and infeasible networks cannot.
+// watchdog trips under load), evaluator panics, and exhausted shard
+// fault budgets (a re-run over the same spool recovers finished slabs
+// and retries only the remainder) can all clear on a fresh attempt;
+// spec errors and infeasible networks cannot.
 func transientErr(err error) bool {
 	return errors.Is(err, convolution.ErrUnstable) ||
 		errors.Is(err, mva.ErrNotConverged) ||
 		errors.Is(err, core.ErrQuorum) ||
+		errors.Is(err, shard.ErrBudget) ||
 		errors.Is(err, errPanic)
 }
 
 // BackoffDelay is the exponential backoff before retry attempt n (1-based
 // count of recorded retries): base 100ms doubling per retry, capped at
 // 5s, plus up to 50% uniform jitter so a burst of failing jobs does not
-// retry in lockstep. Exported because the sharded-search coordinator
-// (internal/shard) paces its worker relaunches with the same discipline.
-func BackoffDelay(retries int) time.Duration {
-	base := 100 * time.Millisecond << min(retries, 6)
-	if base > 5*time.Second {
-		base = 5 * time.Second
-	}
-	return base + time.Duration(rand.Int64N(int64(base)/2+1))
-}
+// retry in lockstep. Negative counts clamp to zero. The implementation
+// lives in internal/backoff, shared with the sharded-search coordinator
+// (internal/shard), which paces worker relaunches and host-blacklist
+// probes with the same discipline.
+func BackoffDelay(retries int) time.Duration { return backoff.Delay(retries) }
 
 // worker is one slot of the bounded pool: it drains the queue until the
 // server context dies (drain or crash).
@@ -88,8 +88,14 @@ func (s *Server) runJob(j *job) {
 		maxRetries = *j.parsed.Spec.MaxRetries
 	}
 	for {
+		// A shard job's resumable state is its coordinator spool (keyed by
+		// the durable manifest), a dimension job's its search checkpoint.
+		resumable := s.journal.CheckpointPath(j.id)
+		if j.parsed.Sharded() {
+			resumable = shard.ManifestPath(s.journal.ShardDir(j.id))
+		}
 		resume := false
-		if _, err := os.Stat(s.journal.CheckpointPath(j.id)); err == nil {
+		if _, err := os.Stat(resumable); err == nil {
 			resume = true
 		}
 		j.mu.Lock()
@@ -196,6 +202,21 @@ func (s *Server) runAttempt(j *job, resume bool) (res *JobResult, err error) {
 		j.cancel = nil
 		j.mu.Unlock()
 	}()
+
+	if j.parsed.Sharded() {
+		// The sharded coordinator has its own resume discipline: re-running
+		// over the per-job spool recovers finished slabs, adopts live
+		// leases, and resumes the rest from their checkpoints.
+		res, err = s.dimensionSharded(j, ctx)
+		if err == nil {
+			res.Resumed = resume
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		return nil, err
+	}
 
 	opts := s.searchOptions(j, ctx, start)
 	if resume {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netmodel"
 	"repro/internal/numeric"
+	"repro/internal/shard/transport"
 )
 
 // Config tunes the daemon. The zero value of any field takes the
@@ -54,6 +55,14 @@ type Config struct {
 	// cadence (defaults 1 — every commit — and 8).
 	CheckpointEvery     int
 	CheckpointFullEvery int
+	// ShardWorkerArgv overrides the worker command of kind:"shard" jobs;
+	// empty means this executable with -shard-worker (which windimd
+	// dispatches before flag parsing).
+	ShardWorkerArgv []string
+	// ShardTransport overrides the worker transport of kind:"shard" jobs;
+	// nil means local worker processes. Tests inject the fake transport
+	// here to run shard jobs in-process.
+	ShardTransport transport.Transport
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -291,7 +300,9 @@ func (s *Server) recoverSpool() ([]*job, error) {
 		}
 		j := newJob(rec.ID, parsed, rec)
 		j.structHash = structuralHash(parsed.Net)
-		if parsed.Spec.ExactEngine && s.oracles.Budget() > 0 {
+		// Shard jobs' exact-engine lattices live in their worker processes,
+		// slab-bounded, never in the daemon's oracle cache — no pin.
+		if parsed.Spec.ExactEngine && !parsed.Sharded() && s.oracles.Budget() > 0 {
 			maxw := parsed.Spec.MaxWindow
 			if maxw <= 0 {
 				maxw = 64
@@ -500,7 +511,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// pin the rest — is pushed back with Retry-After rather than letting
 	// the oracle cache blow past the budget mid-run.
 	var pinBytes int64
-	if parsed.Spec.ExactEngine && s.oracles.Budget() > 0 {
+	// Shard jobs run their exact evaluations in worker processes with
+	// slab-bounded lattices; the daemon's oracle budget is not involved.
+	if parsed.Spec.ExactEngine && !parsed.Sharded() && s.oracles.Budget() > 0 {
 		budget := s.oracles.Budget()
 		maxw := parsed.Spec.MaxWindow
 		if maxw <= 0 {
@@ -553,7 +566,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	hash := structuralHash(parsed.Net)
 	if start := parsed.startVector(); start != nil {
 		rec.Start = start
-	} else if prev, ok := s.warm[hash]; ok && len(prev) == len(parsed.Net.Classes) {
+	} else if prev, ok := s.warm[hash]; ok && !parsed.Sharded() && len(prev) == len(parsed.Net.Classes) {
+		// Exhaustive shard jobs scan the whole box; a warm start would be
+		// meaningless, so only pattern-search jobs take one.
 		// Online re-dimensioning: the same structure was solved before,
 		// so start from its optimum instead of the hop-count rule — when
 		// traffic drifted modestly the new optimum is nearby.

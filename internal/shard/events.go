@@ -10,8 +10,8 @@ import (
 // Event is one line of the coordinator's NDJSON progress stream,
 // structurally consistent with the windimd job event feed
 // (service.Event): the shared seq/type/at/attempt/windows/power/error
-// spine, plus the shard-specific slab and backoff fields. Run-level
-// events (plan, drain, merged) carry Slab == -1.
+// spine, plus the shard-specific slab, host, epoch and backoff fields.
+// Run-level events (plan, drain, merged) carry Slab == -1.
 type Event struct {
 	Seq  int       `json:"seq"`
 	Type string    `json:"type"`
@@ -19,13 +19,20 @@ type Event struct {
 	Slab int       `json:"slab"`
 	// Attempt counts launches of this slab, 1-based.
 	Attempt int `json:"attempt,omitempty"`
+	// Host is the transport host involved (launch, exit and host-health
+	// events).
+	Host string `json:"host,omitempty"`
+	// Epoch is the fencing epoch involved (launch, adoption and fencing
+	// events).
+	Epoch int `json:"epoch,omitempty"`
 	// Windows and Power carry a slab optimum (done events) or the merged
 	// optimum (merged event). Power is the objective value (1/power), the
 	// quantity the search minimises, mirroring service.Event.
 	Windows []int   `json:"windows,omitempty"`
 	Power   float64 `json:"power,omitempty"`
 	Error   string  `json:"error,omitempty"`
-	// BackoffMS is the retry delay scheduled after a failure.
+	// BackoffMS is the retry delay scheduled after a failure (or the
+	// blacklist duration of a host-blacklist event).
 	BackoffMS int64 `json:"backoff_ms,omitempty"`
 	// Slabs and Axis describe the partition (plan event only).
 	Slabs int `json:"slabs,omitempty"`
@@ -36,37 +43,46 @@ type Event struct {
 const (
 	EventPlan       = "plan"       // partition chosen, manifest durable
 	EventRecovered  = "recovered"  // slab satisfied by a result already in the spool
-	EventLaunched   = "launched"   // worker process started
+	EventAdopted    = "adopted"    // restart found a live lease; watching its owner, not relaunching
+	EventLaunched   = "launched"   // worker started on a host
 	EventDone       = "done"       // slab result validated and merged in
 	EventRetry      = "retry"      // attempt failed, relaunch scheduled with backoff
 	EventDeadline   = "deadline"   // heartbeat stalled past the slab deadline, worker killed
 	EventReassigned = "reassigned" // killed straggler's slab queued for another worker
-	EventQuarantine = "quarantine" // torn/mismatched slab result renamed aside
+	EventSuperseded = "superseded" // killed worker never exited (partition); attempt abandoned, slab requeued
+	EventFenced     = "fenced"     // worker self-fenced: lost (or could not prove) lease ownership
+	EventQuarantine = "quarantine" // torn/mismatched/stale-epoch slab result renamed aside
 	EventLost       = "lost"       // slab abandoned after exhausting its retry budget
+	EventHostDown   = "host-down"  // host blacklisted after consecutive failures
+	EventHostLost   = "host-lost"  // host abandoned for good (counts against -max-hosts-lost)
 	EventDrain      = "drain"      // SIGTERM received, workers asked to checkpoint and exit
 	EventMerged     = "merged"     // all slabs accounted for, merged optimum final
 )
 
-// eventLog serialises the progress stream. A nil writer disables it.
+// eventLog serialises the progress stream: one marshalled line per
+// event, one Write call per line, flushed through immediately when the
+// sink is buffered — a consumer tailing the stream sees each event as it
+// happens, not when a buffer happens to fill. A nil writer with a nil
+// callback disables it.
 type eventLog struct {
 	mu  sync.Mutex
 	w   io.Writer
-	enc *json.Encoder
+	cb  func(Event)
 	seq int
 }
 
-func newEventLog(w io.Writer) *eventLog {
-	l := &eventLog{w: w}
-	if w != nil {
-		l.enc = json.NewEncoder(w)
-	}
-	return l
+// flusher is the buffered-writer surface (bufio.Writer and friends).
+type flusher interface{ Flush() error }
+
+func newEventLog(w io.Writer, cb func(Event)) *eventLog {
+	return &eventLog{w: w, cb: cb}
 }
 
-// emit stamps seq and time and writes one NDJSON line. Encode errors are
-// deliberately dropped: progress reporting must never fail the search.
+// emit stamps seq and time, hands the event to the callback, and writes
+// one NDJSON line. Encode/write errors are deliberately dropped:
+// progress reporting must never fail the search.
 func (l *eventLog) emit(e Event) {
-	if l == nil || l.enc == nil {
+	if l == nil || (l.w == nil && l.cb == nil) {
 		return
 	}
 	l.mu.Lock()
@@ -74,5 +90,18 @@ func (l *eventLog) emit(e Event) {
 	l.seq++
 	e.Seq = l.seq
 	e.At = time.Now().UTC()
-	_ = l.enc.Encode(e)
+	if l.cb != nil {
+		l.cb(e)
+	}
+	if l.w == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	_, _ = l.w.Write(append(line, '\n'))
+	if f, ok := l.w.(flusher); ok {
+		_ = f.Flush()
+	}
 }

@@ -7,16 +7,18 @@ package shard
 // package assumes (partitioning slabs, in-range points, sane counters).
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func FuzzParseSlabResult(f *testing.F) {
 	hash := strings.Repeat("ab", 32)
 	good, _ := json.Marshal(&SlabResult{
 		Version: FormatVersion, Kind: resultKind, ManifestHash: hash,
-		Slab: 1, Best: []int{2, 3}, BestValue: 0.25, Evaluations: 36, Strides: 2,
+		Slab: 1, Epoch: 1, Best: []int{2, 3}, BestValue: 0.25, Evaluations: 36, Strides: 2,
 	})
 	f.Add(good)
 	f.Add(good[:len(good)/2]) // torn prefix
@@ -36,7 +38,7 @@ func FuzzParseSlabResult(f *testing.F) {
 		if !validHash(r.ManifestHash) {
 			t.Fatalf("accepted result with hash %q", r.ManifestHash)
 		}
-		if r.Slab < 0 || r.Evaluations < 0 || r.NonConverged < 0 || r.Strides < 0 {
+		if r.Slab < 0 || r.Epoch < 1 || r.Evaluations < 0 || r.NonConverged < 0 || r.Strides < 0 {
 			t.Fatalf("accepted result with negative counters: %+v", r)
 		}
 		for _, w := range r.Best {
@@ -95,14 +97,72 @@ func FuzzParseManifest(f *testing.F) {
 	})
 }
 
+func FuzzParseLease(f *testing.F) {
+	hash := strings.Repeat("ef", 32)
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	good, _ := json.Marshal(&Lease{
+		Version: FormatVersion, Kind: leaseKind, ManifestHash: hash,
+		Slab: 1, Epoch: 3, Owner: "sim0/pid7", TTLMS: 10_000,
+		Acquired: now, Renewed: now,
+	})
+	f.Add(good)
+	f.Add(good[:len(good)/2])                 // torn write
+	f.Add(append([]byte(nil), good[1:]...))   // torn head
+	f.Add(bytes.Replace(good, []byte(`"epoch":3`), []byte(`"epoch":0`), 1))  // stale epoch
+	f.Add(bytes.Replace(good, []byte(`"epoch":3`), []byte(`"epoch":-9`), 1)) // negative epoch
+	f.Add(bytes.Replace(good, []byte(hash), []byte(strings.Repeat("zz", 32)), 1)) // foreign hash
+	f.Add(bytes.Replace(good, []byte(`"ttl_ms":10000`), []byte(`"ttl_ms":0`), 1)) // dead TTL
+	f.Add([]byte(`{"version":2,"kind":"shard-slab-lease"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add(bytes.Repeat([]byte{'{'}, maxLeaseBytes+1)) // oversized
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLease(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be usable as an ownership proof: right
+		// format, a real manifest hash, an epoch that can fence, a TTL
+		// that can expire.
+		if l.Version != FormatVersion || l.Kind != leaseKind {
+			t.Fatalf("accepted lease with version %d kind %q", l.Version, l.Kind)
+		}
+		if !validHash(l.ManifestHash) {
+			t.Fatalf("accepted lease with hash %q", l.ManifestHash)
+		}
+		if l.Slab < 0 || l.Epoch < 1 || l.TTLMS <= 0 {
+			t.Fatalf("accepted lease with slab %d epoch %d ttl %d", l.Slab, l.Epoch, l.TTLMS)
+		}
+		if l.Acquired.IsZero() || l.Renewed.IsZero() {
+			t.Fatalf("accepted lease without timestamps: %+v", l)
+		}
+		// LiveAt must be consistent with TTL arithmetic.
+		if l.LiveAt(l.Renewed.Add(l.TTL())) {
+			t.Fatalf("lease live at its own expiry: %+v", l)
+		}
+		if !l.LiveAt(l.Renewed) {
+			t.Fatalf("lease dead at its own renewal instant: %+v", l)
+		}
+		// Round trip: marshal and re-parse must agree.
+		out, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := ParseLease(out); err != nil {
+			t.Fatalf("re-parse of accepted lease failed: %v\n%s", err, out)
+		}
+	})
+}
+
 func FuzzParseSlabCheckpoint(f *testing.F) {
 	hash := strings.Repeat("cd", 32)
 	var sb strings.Builder
 	enc := json.NewEncoder(&sb)
-	_ = enc.Encode(ckptHeader{Version: FormatVersion, Kind: ckptKind, ManifestHash: hash, Slab: 0, Dim: 2})
-	_ = enc.Encode(ckptRecord{Stride: 1, Best: "2,3", BestValue: 0.5, Evaluations: 6})
+	_ = enc.Encode(ckptHeader{Version: FormatVersion, Kind: ckptKind, ManifestHash: hash, Slab: 0, Epoch: 1, Dim: 2})
+	_ = enc.Encode(ckptRecord{Stride: 1, Epoch: 1, Best: "2,3", BestValue: 0.5, Evaluations: 6})
 	f.Add([]byte(sb.String()))
-	f.Add([]byte(sb.String() + `{"stride":2,"best":"2,`)) // torn tail
+	f.Add([]byte(sb.String() + `{"stride":2,"best":"2,`))                                    // torn tail
+	f.Add([]byte(sb.String() + `{"stride":2,"epoch":9,"best_value":0.5,"evaluations":9}\n`)) // zombie append
 	f.Add([]byte(`{}`))
 	f.Add([]byte("\n\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -111,12 +171,15 @@ func FuzzParseSlabCheckpoint(f *testing.F) {
 			return
 		}
 		h := cp.Header
-		if h.Version != FormatVersion || h.Kind != ckptKind || !validHash(h.ManifestHash) || h.Slab < 0 || h.Dim <= 0 {
+		if h.Version != FormatVersion || h.Kind != ckptKind || !validHash(h.ManifestHash) || h.Slab < 0 || h.Epoch < 1 || h.Dim <= 0 {
 			t.Fatalf("accepted checkpoint with header %+v", h)
 		}
 		if cp.Last != nil {
 			if cp.Last.Evaluations < 0 || cp.Last.NonConverged < 0 {
 				t.Fatalf("accepted record with negative counters: %+v", cp.Last)
+			}
+			if cp.Last.Epoch != h.Epoch {
+				t.Fatalf("accepted record from epoch %d under header epoch %d", cp.Last.Epoch, h.Epoch)
 			}
 			if cp.Last.Best != "" {
 				if _, err := parsePointKey(cp.Last.Best, h.Dim); err != nil {

@@ -51,9 +51,11 @@ import (
 )
 
 // FormatVersion is the wire-format version of every spool artifact;
-// parsers reject files written by a different (future) version rather
-// than guessing at their semantics.
-const FormatVersion = 1
+// parsers reject files written by a different (past or future) version
+// rather than guessing at their semantics. Version 2 added lease
+// fencing: slab<k>.lease files and the fencing epoch stamped into every
+// checkpoint record and slab result.
+const FormatVersion = 2
 
 const (
 	manifestKind = "shard-manifest"
@@ -73,6 +75,12 @@ const (
 const manifestName = "manifest.json"
 
 func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// ManifestPath returns the manifest file of a spool directory. Its
+// existence is the resumability signal: a spool holding a manifest has
+// a planned (possibly partial) run that Run will resume rather than
+// replan.
+func ManifestPath(dir string) string { return manifestPath(dir) }
 func resultPath(dir string, slab int) string {
 	return filepath.Join(dir, fmt.Sprintf("slab%d.res", slab))
 }
@@ -292,6 +300,11 @@ type SlabResult struct {
 	Kind         string `json:"kind"`
 	ManifestHash string `json:"manifest_hash"`
 	Slab         int    `json:"slab"`
+	// Epoch is the fencing epoch of the lease under which this result was
+	// written. The coordinator refuses results whose epoch is not the
+	// slab's current lease epoch — the fence that keeps a zombie worker's
+	// output out of the merge.
+	Epoch int `json:"epoch"`
 	// Best is the slab's minimiser (nil when every candidate in the slab
 	// is infeasible), BestValue its objective value.
 	Best      []int             `json:"best,omitempty"`
@@ -338,6 +351,9 @@ func ParseSlabResult(data []byte) (*SlabResult, error) {
 	if r.Slab < 0 {
 		return nil, fmt.Errorf("shard: negative slab index %d", r.Slab)
 	}
+	if r.Epoch < 1 {
+		return nil, fmt.Errorf("shard: slab result epoch %d below 1", r.Epoch)
+	}
 	if r.Evaluations < 0 || r.NonConverged < 0 || r.Strides < 0 {
 		return nil, fmt.Errorf("shard: negative counters in slab result")
 	}
@@ -377,21 +393,29 @@ func (r *SlabResult) ValidateFor(m *Manifest, hash string, slab int) error {
 	return nil
 }
 
-// ckptHeader is the first line of a slab checkpoint file.
+// ckptHeader is the first line of a slab checkpoint file. Epoch is the
+// fencing epoch of the attempt that (re)established the file; each
+// relaunch rewrites the durable prefix with its own epoch.
 type ckptHeader struct {
 	Version      int    `json:"version"`
 	Kind         string `json:"kind"`
 	ManifestHash string `json:"manifest_hash"`
 	Slab         int    `json:"slab"`
+	Epoch        int    `json:"epoch"`
 	Dim          int    `json:"dim"`
 }
 
 // ckptRecord is one appended line: the slab's cumulative state after one
 // completed stride (a full scan of one axis value). Best uses the
 // IntVector.Key form ("w1,w2,...") validated by pattern.ValidPointKey,
-// like the pattern-search checkpoint cache keys.
+// like the pattern-search checkpoint cache keys. Each record repeats the
+// writing epoch: a record appended by a fenced-out zombie (stale epoch
+// onto a file a newer attempt rewrote is impossible — the rename
+// orphaned its fd — but a zombie re-running openSlabCkpt is not) is
+// detected and dropped like a torn tail.
 type ckptRecord struct {
 	Stride       int               `json:"stride"`
+	Epoch        int               `json:"epoch"`
 	Best         string            `json:"best,omitempty"`
 	BestValue    pattern.JSONFloat `json:"best_value"`
 	Evaluations  int               `json:"evaluations"`
@@ -442,6 +466,9 @@ func ParseSlabCheckpoint(data []byte) (*SlabCheckpoint, error) {
 	if h.Slab < 0 || h.Dim <= 0 {
 		return nil, fmt.Errorf("shard: slab checkpoint slab %d dim %d", h.Slab, h.Dim)
 	}
+	if h.Epoch < 1 {
+		return nil, fmt.Errorf("shard: slab checkpoint epoch %d below 1", h.Epoch)
+	}
 	prev := -1 << 62
 	for _, line := range lines[1:] {
 		if strings.TrimSpace(line) == "" {
@@ -452,6 +479,14 @@ func ParseSlabCheckpoint(data []byte) (*SlabCheckpoint, error) {
 		var rec ckptRecord
 		if err := dec.Decode(&rec); err != nil || dec.More() {
 			// Only the in-flight final line can be torn; stop here.
+			cp.TornTail = true
+			break
+		}
+		if rec.Epoch != h.Epoch {
+			// A record from any epoch but the one that established this
+			// file is a protocol violator's append (a zombie that skipped
+			// the prefix rewrite). Drop it and everything after it, like a
+			// torn tail: the prefix up to here is still trustworthy.
 			cp.TornTail = true
 			break
 		}

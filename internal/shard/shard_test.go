@@ -192,7 +192,7 @@ func TestParseSlabResultRejects(t *testing.T) {
 	hash := strings.Repeat("ab", 32)
 	good, err := json.Marshal(&SlabResult{
 		Version: FormatVersion, Kind: resultKind, ManifestHash: hash,
-		Slab: 1, Best: []int{2, 3}, BestValue: 0.25, Evaluations: 36, Strides: 2,
+		Slab: 1, Epoch: 1, Best: []int{2, 3}, BestValue: 0.25, Evaluations: 36, Strides: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +211,7 @@ func TestParseSlabResultRejects(t *testing.T) {
 		"negative slab":  []byte(`{"version":1,"kind":"shard-slab-result","manifest_hash":"` + hash + `","slab":-1}`),
 		"negative evals": []byte(`{"version":1,"kind":"shard-slab-result","manifest_hash":"` + hash + `","evaluations":-5}`),
 		"negative best":  []byte(`{"version":1,"kind":"shard-slab-result","manifest_hash":"` + hash + `","best":[2,-3]}`),
+		"missing epoch":  []byte(`{"version":2,"kind":"shard-slab-result","manifest_hash":"` + hash + `","slab":1,"best_value":0.25,"strides":2}`),
 	}
 	for name, data := range cases {
 		if _, err := ParseSlabResult(data); err == nil {
@@ -229,7 +230,7 @@ func TestSlabResultValidateFor(t *testing.T) {
 	hash := Hash(data)
 	res := &SlabResult{
 		Version: FormatVersion, Kind: resultKind, ManifestHash: hash,
-		Slab: 1, Best: []int{3, 4}, BestValue: 0.25, Evaluations: 12, Strides: 2,
+		Slab: 1, Epoch: 1, Best: []int{3, 4}, BestValue: 0.25, Evaluations: 12, Strides: 2,
 	}
 	if err := res.ValidateFor(m, hash, 1); err != nil {
 		t.Fatalf("valid result rejected: %v", err)
@@ -260,13 +261,13 @@ func TestParseSlabCheckpointTornTail(t *testing.T) {
 	hash := strings.Repeat("cd", 32)
 	var sb strings.Builder
 	enc := json.NewEncoder(&sb)
-	if err := enc.Encode(ckptHeader{Version: FormatVersion, Kind: ckptKind, ManifestHash: hash, Slab: 0, Dim: 2}); err != nil {
+	if err := enc.Encode(ckptHeader{Version: FormatVersion, Kind: ckptKind, ManifestHash: hash, Slab: 0, Epoch: 1, Dim: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Encode(ckptRecord{Stride: 1, Best: "2,3", BestValue: 0.5, Evaluations: 6}); err != nil {
+	if err := enc.Encode(ckptRecord{Stride: 1, Epoch: 1, Best: "2,3", BestValue: 0.5, Evaluations: 6}); err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Encode(ckptRecord{Stride: 2, Best: "2,3", BestValue: 0.5, Evaluations: 12}); err != nil {
+	if err := enc.Encode(ckptRecord{Stride: 2, Epoch: 1, Best: "2,3", BestValue: 0.5, Evaluations: 12}); err != nil {
 		t.Fatal(err)
 	}
 	sb.WriteString(`{"stride":3,"best":"2,`) // torn mid-append
@@ -288,8 +289,19 @@ func TestParseSlabCheckpointTornTail(t *testing.T) {
 	if _, err := ParseSlabCheckpoint([]byte(dup)); err == nil {
 		t.Error("duplicate stride accepted")
 	}
+	// A record stamped with a different epoch than the header is a
+	// protocol violator's append: dropped with everything after it, like
+	// a torn tail, without poisoning the intact prefix.
+	stale := two[0] + two[1] + `{"stride":5,"epoch":9,"best_value":0.5,"evaluations":20}` + "\n"
+	cp, err = ParseSlabCheckpoint([]byte(stale))
+	if err != nil {
+		t.Fatalf("stale-epoch record should be dropped, not fatal: %v", err)
+	}
+	if !cp.TornTail || cp.Records != 1 || cp.Last == nil || cp.Last.Stride != 1 {
+		t.Fatalf("stale-epoch tail: got records=%d torn=%v last=%+v", cp.Records, cp.TornTail, cp.Last)
+	}
 	// A best key of the wrong dimension is corrupt.
-	bad := two[0] + `{"stride":1,"best":"2,3,4","best_value":0.5,"evaluations":6}` + "\n"
+	bad := two[0] + `{"stride":1,"epoch":1,"best":"2,3,4","best_value":0.5,"evaluations":6}` + "\n"
 	if _, err := ParseSlabCheckpoint([]byte(bad)); err == nil {
 		t.Error("wrong-dimension best key accepted")
 	}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// LocalHost is the single host name of the local transport.
+const LocalHost = "local"
+
+// Local launches workers as child processes of the coordinator — the
+// PR-8 re-exec path, now behind the Transport seam.
+type Local struct{}
+
+// NewLocal returns the local (same machine) transport.
+func NewLocal() *Local { return &Local{} }
+
+func (l *Local) Name() string    { return "local" }
+func (l *Local) Hosts() []string { return []string{LocalHost} }
+
+// Launch execs the worker with the contract environment appended to the
+// coordinator's own (later entries win, so the contract cannot be
+// shadowed by the inherited environment).
+func (l *Local) Launch(spec Spec) (Handle, error) {
+	if spec.Host != LocalHost {
+		return nil, fmt.Errorf("transport: local transport has no host %q", spec.Host)
+	}
+	if len(spec.Argv) == 0 {
+		return nil, fmt.Errorf("transport: empty worker argv")
+	}
+	cmd := exec.Command(spec.Argv[0], spec.Argv[1:]...)
+	cmd.Env = append(os.Environ(), spec.Env...)
+	if spec.Stderr != nil {
+		cmd.Stdout, cmd.Stderr = spec.Stderr, spec.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &localHandle{cmd: cmd}, nil
+}
+
+type localHandle struct{ cmd *exec.Cmd }
+
+func (h *localHandle) Terminate() error { return h.cmd.Process.Signal(syscall.SIGTERM) }
+func (h *localHandle) Kill() error      { return h.cmd.Process.Kill() }
+func (h *localHandle) Wait() error      { return h.cmd.Wait() }
+func (h *localHandle) Pid() int         { return h.cmd.Process.Pid }
+func (h *localHandle) Host() string     { return LocalHost }

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"syscall"
+)
+
+// SSH launches workers on remote hosts through the system ssh client.
+// The spool directory must resolve to the same (shared) storage on every
+// host — an NFS mount or equivalent — because all worker state flows
+// through it.
+//
+// Control is deliberately weak: Terminate SIGTERMs the local ssh client
+// (OpenSSH tears down the connection and the remote shell delivers
+// SIGHUP, which worker mode treats as a drain on cooperative stacks) and
+// Kill SIGKILLs the local client only. A network partition — or a kill
+// that severs the connection while the remote worker lives on — produces
+// exactly the zombie the lease fencing in internal/shard is built for:
+// the remnant cannot renew its epoch lease, so its writes are fenced out
+// of the merge and it self-terminates once it observes the lease loss.
+type SSH struct {
+	// Client is the ssh binary (default "ssh").
+	Client string
+	// Options are extra client arguments, e.g. "-p" "2222" or
+	// "-o" "ConnectTimeout=5". BatchMode is always forced: a coordinator
+	// must fail fast, never hang on a password prompt.
+	Options []string
+	// Fleet is the host list launches may target (user@host forms work).
+	Fleet []string
+}
+
+// NewSSH returns an ssh transport over the given hosts.
+func NewSSH(hosts []string, client string, options ...string) (*SSH, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("transport: ssh transport needs at least one host")
+	}
+	for _, h := range hosts {
+		if strings.TrimSpace(h) == "" {
+			return nil, fmt.Errorf("transport: empty ssh host name")
+		}
+		if strings.HasPrefix(h, "-") {
+			return nil, fmt.Errorf("transport: ssh host %q would parse as an option", h)
+		}
+	}
+	if client == "" {
+		client = "ssh"
+	}
+	return &SSH{Client: client, Options: options, Fleet: hosts}, nil
+}
+
+func (s *SSH) Name() string    { return "ssh" }
+func (s *SSH) Hosts() []string { return s.Fleet }
+
+// Launch runs `ssh host env K=V... argv...`. Remote words are
+// single-quoted so the remote shell cannot reinterpret spool paths or
+// env values; the contract env rides an `env` prefix because ssh does
+// not forward arbitrary client environment.
+func (s *SSH) Launch(spec Spec) (Handle, error) {
+	found := false
+	for _, h := range s.Fleet {
+		if h == spec.Host {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("transport: ssh transport has no host %q", spec.Host)
+	}
+	if len(spec.Argv) == 0 {
+		return nil, fmt.Errorf("transport: empty worker argv")
+	}
+	args := append([]string{}, s.Options...)
+	args = append(args, "-o", "BatchMode=yes", spec.Host, "env")
+	for _, kv := range spec.Env {
+		args = append(args, quoteSh(kv))
+	}
+	for _, w := range spec.Argv {
+		args = append(args, quoteSh(w))
+	}
+	cmd := exec.Command(s.Client, args...)
+	if spec.Stderr != nil {
+		cmd.Stdout, cmd.Stderr = spec.Stderr, spec.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &sshHandle{cmd: cmd, host: spec.Host}, nil
+}
+
+type sshHandle struct {
+	cmd  *exec.Cmd
+	host string
+}
+
+func (h *sshHandle) Terminate() error { return h.cmd.Process.Signal(syscall.SIGTERM) }
+func (h *sshHandle) Kill() error      { return h.cmd.Process.Kill() }
+func (h *sshHandle) Wait() error      { return h.cmd.Wait() }
+func (h *sshHandle) Pid() int         { return h.cmd.Process.Pid }
+func (h *sshHandle) Host() string     { return h.host }
+
+// quoteSh single-quotes one word for a POSIX remote shell.
+func quoteSh(w string) string {
+	return "'" + strings.ReplaceAll(w, "'", `'\''`) + "'"
+}

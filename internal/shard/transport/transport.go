@@ -1,0 +1,91 @@
+// Package transport abstracts how the sharded-search coordinator
+// launches and controls slab workers. The coordinator is transport
+// agnostic: it hands a Spec (host, argv, contract environment) to a
+// Transport and supervises the returned Handle — everything else about
+// worker placement (same machine, ssh to a remote host, an in-process
+// goroutine for chaos tests) lives behind this interface.
+//
+// Transports only move processes; all data still flows through the
+// durable spool directory, which every host must share (network
+// filesystem, or rsynced for read-mostly workloads). A transport is
+// therefore allowed to LOSE control of a worker — an ssh connection cut
+// by a partition leaves the remote process running — and the shard
+// package's lease fencing, not the transport, is what keeps such
+// zombies from corrupting reassigned slabs.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// Spec describes one worker launch.
+type Spec struct {
+	// Host is the target host, one of Transport.Hosts().
+	Host string
+	// Argv is the worker command line (argv[0] plus args) on the host.
+	Argv []string
+	// Env holds the KEY=VALUE contract entries (SHARD_DIR, SHARD_SLAB,
+	// SHARD_EPOCH, ...) appended to the worker's base environment.
+	Env []string
+	// Stderr receives the worker's stderr (and stdout), when supported.
+	Stderr io.Writer
+}
+
+// Handle controls one launched worker. All methods are safe to call
+// from the coordinator's supervision loop; Wait may be called once,
+// from its own goroutine.
+type Handle interface {
+	// Terminate asks the worker to stop gracefully (checkpoint and
+	// exit) — SIGTERM or its transport equivalent. Best-effort.
+	Terminate() error
+	// Kill stops the worker hard (SIGKILL or equivalent). Best-effort:
+	// a partitioned transport may be unable to reach the worker at all,
+	// in which case the process lives on as a zombie the lease fencing
+	// must contain.
+	Kill() error
+	// Wait blocks until the worker exits; nil means exit 0. On a
+	// partitioned transport Wait may never return — the coordinator
+	// bounds it with its own kill grace.
+	Wait() error
+	// Pid identifies the local control process (0 when not applicable).
+	Pid() int
+	// Host names the host the worker was launched on.
+	Host() string
+}
+
+// Transport launches slab workers on a fleet of hosts.
+type Transport interface {
+	// Name identifies the transport kind (local, ssh, fake).
+	Name() string
+	// Hosts lists the hosts the transport can launch on.
+	Hosts() []string
+	// Launch starts one worker per spec.
+	Launch(spec Spec) (Handle, error)
+}
+
+// ExitError carries a worker's exit status through transports that do
+// not surface an *exec.ExitError of their own (the fake transport).
+type ExitError struct{ Code int }
+
+func (e *ExitError) Error() string { return fmt.Sprintf("worker exited with code %d", e.Code) }
+
+// ExitCode extracts a worker's exit status from a Wait error, whatever
+// transport produced it; -1 when the worker died on a signal, never ran,
+// or the transport lost track of it.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var te *ExitError
+	if errors.As(err, &te) {
+		return te.Code
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Fatalf("nil error: exit %d, want 0", got)
+	}
+	if got := ExitCode(&ExitError{Code: 7}); got != 7 {
+		t.Fatalf("ExitError{7}: exit %d, want 7", got)
+	}
+	if got := ExitCode(fmt.Errorf("wrapped: %w", &ExitError{Code: 3})); got != 3 {
+		t.Fatalf("wrapped ExitError{3}: exit %d, want 3", got)
+	}
+	if got := ExitCode(errors.New("connection reset")); got != -1 {
+		t.Fatalf("opaque error: exit %d, want -1", got)
+	}
+	// A real *exec.ExitError must unwrap too.
+	err := exec.Command("/bin/sh", "-c", "exit 5").Run()
+	if got := ExitCode(err); got != 5 {
+		t.Fatalf("exec exit 5: exit %d (%v), want 5", got, err)
+	}
+}
+
+func TestLocalLaunch(t *testing.T) {
+	l := NewLocal()
+	if l.Name() != "local" || len(l.Hosts()) != 1 || l.Hosts()[0] != LocalHost {
+		t.Fatalf("local identity: %q %v", l.Name(), l.Hosts())
+	}
+	if _, err := l.Launch(Spec{Host: "elsewhere", Argv: []string{"/bin/true"}}); err == nil {
+		t.Fatal("foreign host accepted")
+	}
+	if _, err := l.Launch(Spec{Host: LocalHost}); err == nil {
+		t.Fatal("empty argv accepted")
+	}
+
+	// Exit status flows through Wait; the contract env reaches the child
+	// and wins over the inherited environment.
+	t.Setenv("TSPT_PROBE", "inherited")
+	var buf bytes.Buffer
+	h, err := l.Launch(Spec{
+		Host:   LocalHost,
+		Argv:   []string{"/bin/sh", "-c", `echo "probe=$TSPT_PROBE" >&2; exit 7`},
+		Env:    []string{"TSPT_PROBE=contract"},
+		Stderr: &buf,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if h.Host() != LocalHost || h.Pid() <= 0 {
+		t.Fatalf("handle identity: host %q pid %d", h.Host(), h.Pid())
+	}
+	if got := ExitCode(h.Wait()); got != 7 {
+		t.Fatalf("exit %d, want 7", got)
+	}
+	if !strings.Contains(buf.String(), "probe=contract") {
+		t.Fatalf("contract env did not win: %q", buf.String())
+	}
+}
+
+func TestLocalTerminate(t *testing.T) {
+	h, err := NewLocal().Launch(Spec{Host: LocalHost, Argv: []string{"/bin/sh", "-c", "sleep 60"}})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := h.Terminate(); err != nil {
+		t.Fatalf("Terminate: %v", err)
+	}
+	if got := ExitCode(h.Wait()); got != -1 {
+		t.Fatalf("signalled worker reported exit %d, want -1", got)
+	}
+}
+
+func TestNewSSHValidation(t *testing.T) {
+	if _, err := NewSSH(nil, ""); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewSSH([]string{"a", " "}, ""); err == nil {
+		t.Fatal("blank host accepted")
+	}
+	if _, err := NewSSH([]string{"-oProxyCommand=evil"}, ""); err == nil {
+		t.Fatal("option-shaped host accepted")
+	}
+	s, err := NewSSH([]string{"db1", "db2"}, "", "-p", "2222")
+	if err != nil {
+		t.Fatalf("NewSSH: %v", err)
+	}
+	if s.Client != "ssh" {
+		t.Fatalf("default client %q, want ssh", s.Client)
+	}
+	if s.Name() != "ssh" || len(s.Hosts()) != 2 {
+		t.Fatalf("ssh identity: %q %v", s.Name(), s.Hosts())
+	}
+	if _, err := s.Launch(Spec{Host: "db3", Argv: []string{"w"}}); err == nil {
+		t.Fatal("foreign host accepted")
+	}
+	if _, err := s.Launch(Spec{Host: "db1"}); err == nil {
+		t.Fatal("empty argv accepted")
+	}
+}
+
+// TestSSHCommandLine drives the ssh transport with a shell stub standing
+// in for the ssh client, checking the remote command line survives
+// quoting: env entries with spaces and quotes must arrive intact.
+func TestSSHCommandLine(t *testing.T) {
+	s, err := NewSSH([]string{"db1"}, "/bin/sh", "-c", `echo "$@" >&2; exit 0`, "stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	h, err := s.Launch(Spec{
+		Host:   "db1",
+		Argv:   []string{"/usr/bin/worker", "-shard-worker"},
+		Env:    []string{`SHARD_DIR=/var/spool/my run`, `WEIRD=a'b`},
+		Stderr: &buf,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatalf("stub ssh failed: %v (%s)", err, buf.String())
+	}
+	line := buf.String()
+	for _, want := range []string{
+		"-o BatchMode=yes", "db1", "env",
+		`'SHARD_DIR=/var/spool/my run'`, `'WEIRD=a'\''b'`,
+		`'/usr/bin/worker' '-shard-worker'`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("ssh command line %q missing %q", line, want)
+		}
+	}
+}
+
+func fakeWorker(code int, block bool) WorkerFunc {
+	return func(ctx context.Context, env []string) int {
+		if block {
+			<-ctx.Done()
+		}
+		return code
+	}
+}
+
+func TestNewFakeValidation(t *testing.T) {
+	if _, err := NewFake(nil, fakeWorker(0, false), ""); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewFake([]string{"sim0"}, nil, ""); err == nil {
+		t.Fatal("nil worker func accepted")
+	}
+	// Malformed chaos entries are ignored, never fatal.
+	f, err := NewFake([]string{"sim0"}, fakeWorker(0, false), "hostdown,partition:,nuke:slab1,hostdown:slabX, partition:slab2 ")
+	if err != nil {
+		t.Fatalf("NewFake with sloppy chaos spec: %v", err)
+	}
+	if len(f.chaos) != 1 || f.chaos[0].kind != "partition" || f.chaos[0].slab != 2 {
+		t.Fatalf("chaos rules %+v, want just partition:slab2", f.chaos)
+	}
+}
+
+func TestFakeLaunchAndExitCodes(t *testing.T) {
+	f, err := NewFake([]string{"sim0", "sim1"}, fakeWorker(4, false), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "fake" || len(f.Hosts()) != 2 {
+		t.Fatalf("fake identity: %q %v", f.Name(), f.Hosts())
+	}
+	if _, err := f.Launch(Spec{Host: "sim9"}); err == nil {
+		t.Fatal("foreign host accepted")
+	}
+	h, err := f.Launch(Spec{Host: "sim1"})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if got := ExitCode(h.Wait()); got != 4 {
+		t.Fatalf("exit %d, want 4", got)
+	}
+	if h.Host() != "sim1" || h.Pid() != 0 {
+		t.Fatalf("handle identity: host %q pid %d", h.Host(), h.Pid())
+	}
+	if f.Launches("sim1") != 1 || f.Launches("sim0") != 0 {
+		t.Fatalf("launch counters: sim0=%d sim1=%d", f.Launches("sim0"), f.Launches("sim1"))
+	}
+}
+
+func TestFakeHostDown(t *testing.T) {
+	f, err := NewFake([]string{"sim0"}, fakeWorker(0, true), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Launch(Spec{Host: "sim0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.HostDown("sim0")
+	// The running worker dies abruptly: no exit status, like a machine
+	// losing power.
+	if got := ExitCode(h.Wait()); got != -1 {
+		t.Fatalf("downed worker reported exit %d, want -1", got)
+	}
+	if _, err := f.Launch(Spec{Host: "sim0"}); err == nil {
+		t.Fatal("launch on a downed host accepted")
+	}
+}
+
+func TestFakePartition(t *testing.T) {
+	f, err := NewFake([]string{"sim0"}, fakeWorker(0, false), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Launch(Spec{Host: "sim0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Partition("sim0")
+	// Terminate and Kill no longer reach the worker, and its exit is
+	// unobservable: Wait must block for as long as the partition holds.
+	_ = h.Terminate()
+	_ = h.Kill()
+	done := make(chan int, 1)
+	go func() { done <- ExitCode(h.Wait()) }()
+	select {
+	case code := <-done:
+		t.Fatalf("Wait returned %d through a partition", code)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if _, err := f.Launch(Spec{Host: "sim0"}); err == nil {
+		t.Fatal("launch on a partitioned host accepted")
+	}
+}
+
+func TestEnvValue(t *testing.T) {
+	env := []string{"A=1", "B=", "A=2", "notakv"}
+	if got := envValue(env, "A"); got != "2" {
+		t.Fatalf("envValue last-wins: got %q, want 2", got)
+	}
+	if got := envValue(env, "B"); got != "" {
+		t.Fatalf("envValue empty: got %q", got)
+	}
+	if got := envValue(env, "C"); got != "" {
+		t.Fatalf("envValue missing: got %q", got)
+	}
+}
