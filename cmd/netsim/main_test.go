@@ -92,3 +92,38 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSchedulerFlag(t *testing.T) {
+	for _, sched := range []string{"heap", "calendar"} {
+		if err := run([]string{"-example", "canada2", "-windows", "4,4",
+			"-duration", "100", "-warmup", "10",
+			"-scheduler", sched}); err != nil {
+			t.Fatalf("-scheduler %s: %v", sched, err)
+		}
+	}
+	err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "100", "-warmup", "10", "-scheduler", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("bogus scheduler: got %v, want unknown-scheduler error", err)
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-example", "canada2", "-windows", "4,4",
+		"-duration", "200", "-warmup", "20",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netmodel"
 	"repro/internal/numeric"
+	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -248,6 +250,71 @@ func runJSONBench(path string, opts core.Options) error {
 			return err
 		}})
 	}
+
+	// sim_event: one full simulator replication on the Fig. 4.6 Canada-4
+	// workload through a reused Runner — the zero-alloc steady state
+	// RunReplications lives in. Evaluations records the executed event
+	// count, so benchdiff can derive ns/event and catch event-count drift
+	// (a scheduler or model change) separately from wall-clock noise.
+	simCfg := sim.Config{
+		Windows:  numeric.IntVector{4, 4, 3, 2},
+		Duration: 200,
+		Warmup:   20,
+	}
+	simRunner, err := sim.NewRunner(canada4, simCfg)
+	if err != nil {
+		return err
+	}
+	simEvents := 0
+	if res, err := simRunner.Run(1); err != nil {
+		return err
+	} else {
+		simEvents = int(res.Events)
+	}
+	suite = append(suite, struct {
+		name  string
+		evals func() (int, error)
+		body  func() error
+	}{"sim_event/canada4", func() (int, error) { return simEvents, nil }, func() error {
+		_, err := simRunner.Run(1)
+		return err
+	}})
+
+	// sim_replications: the end-to-end batch path — replications with a
+	// fault schedule (outage, degradation, surge) through RunReplications'
+	// pooled per-worker runners. Evaluations is the total event count.
+	repCfg := sim.Config{
+		Windows:  numeric.IntVector{4, 4},
+		Duration: 300,
+		Warmup:   30,
+		Faults: &sim.FaultSpec{
+			Outages:      []sim.Outage{{Channel: 1, Start: 60, End: 80}},
+			Degradations: []sim.Degradation{{Channel: 0, Start: 100, End: 160, Factor: 0.5}},
+			Surges:       []sim.Surge{{Class: 1, Start: 120, End: 200, Factor: 2.5}},
+		},
+	}
+	const simReps = 4
+	repEvents := func() (int, error) {
+		batch, err := sim.RunReplications(context.Background(), canada2, repCfg, simReps, 1)
+		if err != nil {
+			return 0, err
+		}
+		n := int64(0)
+		for i := range batch.Reps {
+			if r := batch.Reps[i].Result; r != nil {
+				n += r.Events
+			}
+		}
+		return int(n), nil
+	}
+	suite = append(suite, struct {
+		name  string
+		evals func() (int, error)
+		body  func() error
+	}{"sim_replications/canada2", repEvents, func() error {
+		_, err := sim.RunReplications(context.Background(), canada2, repCfg, simReps, 1)
+		return err
+	}})
 
 	out := benchFile{
 		Go:         runtime.Version(),

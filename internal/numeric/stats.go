@@ -168,22 +168,101 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sortFloat64s(sorted)
+	// Only two order statistics enter the answer, so quickselect (O(n))
+	// finds them instead of sorting the copy (O(n log n)). Order
+	// statistics are exact values — the result is bit-identical to the
+	// sorted implementation this replaced.
+	work := make([]float64, len(xs))
+	copy(work, xs)
 	if p <= 0 {
-		return sorted[0]
+		return minOf(work)
 	}
 	if p >= 1 {
-		return sorted[len(sorted)-1]
+		return maxOf(work)
 	}
-	pos := p * float64(len(sorted)-1)
+	pos := p * float64(len(work)-1)
 	lo := int(pos)
 	frac := pos - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[len(sorted)-1]
+	if lo+1 >= len(work) {
+		return maxOf(work)
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	a := quickselect(work, lo)
+	// quickselect leaves work[lo+1:] holding exactly the ranks above lo,
+	// so the next order statistic is their minimum.
+	b := minOf(work[lo+1:])
+	return a*(1-frac) + b*frac
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// quickselect partially sorts xs in place so that xs[k] holds the k-th
+// order statistic, everything before it is <= xs[k] and everything after
+// is >= xs[k], and returns xs[k]. Median-of-three Hoare partitioning
+// with an insertion-sort tail; deterministic for a given input.
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for hi > lo {
+		if hi-lo < 16 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+					xs[j], xs[j-1] = xs[j-1], xs[j]
+				}
+			}
+			break
+		}
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+			if xs[mid] < xs[lo] {
+				xs[mid], xs[lo] = xs[lo], xs[mid]
+			}
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k] // xs[j+1 .. i-1] all equal the pivot
+		}
+	}
+	return xs[k]
 }
 
 // sortFloat64s is an in-place quicksort with insertion-sort cutoff

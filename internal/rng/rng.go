@@ -24,31 +24,58 @@ type Stream struct {
 
 const pcgMult = 6364136223846793005
 
+// defaultSeq is the sequence selector New uses.
+const defaultSeq = 0xda3e39cb94b95bdb
+
 // New returns a stream seeded from seed with the default sequence
 // selector.
 func New(seed uint64) *Stream {
-	return NewSeq(seed, 0xda3e39cb94b95bdb)
+	return NewSeq(seed, defaultSeq)
 }
 
 // NewSeq returns a stream seeded from seed on sequence seq. Distinct seq
 // values give statistically independent streams for the same seed.
 func NewSeq(seed, seq uint64) *Stream {
-	s := &Stream{inc: seq<<1 | 1, seed: seed}
+	s := &Stream{}
+	s.ReseedSeq(seed, seq)
+	return s
+}
+
+// Reseed reinitialises s in place to the exact state New(seed) returns,
+// without allocating. It exists for hot loops that rebuild a fixed set of
+// streams once per replication (the simulator's reusable runner state).
+func (s *Stream) Reseed(seed uint64) {
+	s.ReseedSeq(seed, defaultSeq)
+}
+
+// ReseedSeq reinitialises s in place to the exact state NewSeq(seed, seq)
+// returns, without allocating.
+func (s *Stream) ReseedSeq(seed, seq uint64) {
+	s.inc = seq<<1 | 1
+	s.seed = seed
 	s.state = 0
 	s.next() // advance past the all-zeros state per PCG reference init
 	s.state += seed
 	s.next()
-	return s
 }
 
 // Split derives the i-th child stream. Children of the same parent with
 // distinct indices are independent; splitting does not perturb the parent
 // and does not depend on how much of the parent has been consumed.
 func (s *Stream) Split(i uint64) *Stream {
+	child := &Stream{}
+	s.SplitInto(i, child)
+	return child
+}
+
+// SplitInto writes the i-th child stream into child without allocating:
+// child ends in the exact state s.Split(i) would return. Like Split it
+// neither perturbs nor depends on the parent's consumption.
+func (s *Stream) SplitInto(i uint64, child *Stream) {
 	// SplitMix64 over (seed, inc, i) gives seed and sequence for the
 	// child.
 	h := splitMix64(s.seed ^ splitMix64(s.inc) ^ splitMix64(^i))
-	return NewSeq(h, splitMix64(h+i))
+	child.ReseedSeq(h, splitMix64(h+i))
 }
 
 // SubSeed derives the i-th replication seed from a master seed.
@@ -91,16 +118,89 @@ func (s *Stream) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// Ziggurat tables for the standard exponential density (Marsaglia &
+// Tsang 2000), 256 layers: zigKe are the 32-bit acceptance thresholds,
+// zigWe the per-layer scale factors and zigFe the density at each layer
+// edge. Built once at init from the published recurrence rather than
+// pasted in, so the tables are exactly self-consistent in this binary's
+// arithmetic.
+var (
+	zigKe [256]uint32
+	zigWe [256]float64
+	zigFe [256]float64
+)
+
+// zigR is the right edge of the base ziggurat layer.
+const zigR = 7.69711747013104972
+
+func init() {
+	const m = 1 << 32
+	const v = 0.0039496598225815571993 // area of each layer
+	de, te := zigR, zigR
+	q := v / math.Exp(-de)
+	zigKe[0] = uint32(de / q * m)
+	zigKe[1] = 0
+	zigWe[0] = q / m
+	zigWe[255] = de / m
+	zigFe[0] = 1
+	zigFe[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(v/de + math.Exp(-de))
+		zigKe[i+1] = uint32(de / te * m)
+		te = de
+		zigFe[i] = math.Exp(-de)
+		zigWe[i] = de / m
+	}
+}
+
 // Exp returns an exponential variate with the given rate (mean 1/rate).
 // It panics if rate <= 0: a non-positive rate is always a caller bug in
 // this codebase (a zero-capacity channel must be rejected at model
 // validation, long before sampling).
+//
+// Sampling uses the 256-layer exponential ziggurat: ~98% of draws cost
+// one 32-bit generator step and one multiply, no logarithm. The method is
+// exact (rejection, not approximation) — the returned variates are
+// exponential to full floating-point fidelity, and the simulator's event
+// loop spends its time on simulation instead of math.Log.
 func (s *Stream) Exp(rate float64) float64 {
 	if rate <= 0 {
 		panic("rng: Exp requires rate > 0")
 	}
-	// 1-Float64 avoids log(0).
-	return -math.Log(1-s.Float64()) / rate
+	return s.expUnit() / rate
+}
+
+// ExpMean returns an exponential variate with the given mean (> 0). It
+// draws the same distribution as Exp(1/mean) with one division fewer;
+// the simulator's event loop is division-bound enough for the spelling
+// to matter.
+func (s *Stream) ExpMean(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: ExpMean requires mean > 0")
+	}
+	return s.expUnit() * mean
+}
+
+// expUnit returns a standard (rate-1) exponential variate.
+func (s *Stream) expUnit() float64 {
+	for {
+		j := s.next()
+		i := j & 255
+		x := float64(j) * zigWe[i]
+		if j < zigKe[i] {
+			return x // inside the layer rectangle: accept outright
+		}
+		if i == 0 {
+			// Base-layer tail: beyond zigR the residual is itself
+			// exponential (memorylessness), sampled by inversion.
+			return zigR - math.Log(1-s.Float64())
+		}
+		// Wedge: accept x with probability proportional to how far the
+		// density at x pokes above the layer's lower edge.
+		if zigFe[i]+s.Float64()*(zigFe[i-1]-zigFe[i]) < math.Exp(-x) {
+			return x
+		}
+	}
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -234,3 +234,104 @@ func TestIntnProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Reseed must leave a stream indistinguishable from a freshly
+// constructed one — the contract that lets the simulator's reset re-arm
+// pooled streams without reallocating.
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.Uint64() // dirty the state
+	}
+	s.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 1000; i++ {
+		if s.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed(42) diverged from New(42) at step %d", i)
+		}
+	}
+}
+
+func TestReseedSeqMatchesNewSeq(t *testing.T) {
+	s := NewSeq(9, 3)
+	s.Float64()
+	s.ReseedSeq(7, 11)
+	fresh := NewSeq(7, 11)
+	for i := 0; i < 1000; i++ {
+		if s.Uint64() != fresh.Uint64() {
+			t.Fatalf("ReseedSeq(7, 11) diverged from NewSeq(7, 11) at step %d", i)
+		}
+	}
+}
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	parent := New(123)
+	var child Stream
+	for i := uint64(0); i < 20; i++ {
+		want := parent.Split(i)
+		parent.SplitInto(i, &child)
+		for k := 0; k < 200; k++ {
+			if child.Uint64() != want.Uint64() {
+				t.Fatalf("SplitInto(%d) diverged from Split(%d) at step %d", i, i, k)
+			}
+		}
+	}
+}
+
+// ExpMean(m) and Exp(1/m) sample the same variate from the same state up
+// to one rounding (x*m vs x/(1/m)); parallel streams must agree to a few
+// ulps on every draw.
+func TestExpMeanMatchesExp(t *testing.T) {
+	a, b := New(77), New(77)
+	const mean = 0.37
+	for i := 0; i < 100000; i++ {
+		x, y := a.ExpMean(mean), b.Exp(1/mean)
+		if diff := math.Abs(x - y); diff > 4e-16*(1+x) {
+			t.Fatalf("draw %d: ExpMean %v vs Exp %v (diff %v)", i, x, y, diff)
+		}
+	}
+}
+
+// TestExpDistribution checks the ziggurat-sampled exponential against the
+// exact CDF at several quantiles, including deep tail points that only
+// the base-layer inversion path can reach. Binomial std dev at n=500000
+// is at most ~7e-4; the 5e-3 tolerances are ~7 sigma.
+func TestExpDistribution(t *testing.T) {
+	s := New(2024)
+	const n = 500000
+	quantiles := []float64{0.1, 0.5, 1, 2, 4, 8, 12}
+	counts := make([]int, len(quantiles))
+	maxSeen := 0.0
+	for i := 0; i < n; i++ {
+		x := s.ExpMean(1)
+		if x > maxSeen {
+			maxSeen = x
+		}
+		for q, thr := range quantiles {
+			if x <= thr {
+				counts[q]++
+			}
+		}
+	}
+	for q, thr := range quantiles {
+		got := float64(counts[q]) / n
+		want := 1 - math.Exp(-thr)
+		if math.Abs(got-want) > 5e-3 {
+			t.Errorf("P(X <= %v) = %v, want %v", thr, got, want)
+		}
+	}
+	// The ziggurat's tail path must actually fire: beyond zigR only
+	// inversion sampling reaches, and 500k draws all but surely exceed it.
+	if maxSeen <= zigR {
+		t.Errorf("no draw beyond the ziggurat base layer (max %v <= %v)", maxSeen, zigR)
+	}
+}
+
+func TestExpMeanPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mean <= 0")
+		}
+	}()
+	New(1).ExpMean(-1)
+}

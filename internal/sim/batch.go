@@ -92,12 +92,16 @@ func RunReplications(ctx context.Context, n *netmodel.Network, cfg Config, reps,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable Runner per worker: the routing/channel/class
+			// tables are built once and every replication re-arms them in
+			// place, so a long batch allocates per worker, not per rep.
+			var runner *Runner
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= reps {
 					return
 				}
-				out[i] = runReplication(ctx, n, cfg, i)
+				out[i], runner = runReplication(ctx, n, cfg, i, runner)
 			}
 		}()
 	}
@@ -166,26 +170,36 @@ func RunReplications(ctx context.Context, n *netmodel.Network, cfg Config, reps,
 	return b, nil
 }
 
-// runReplication executes replication rep, converting a panic inside the
-// event loop into a recorded error so one corrupted replication cannot
-// take down the batch.
-func runReplication(ctx context.Context, n *netmodel.Network, cfg Config, rep int) (rr Replication) {
+// runReplication executes replication rep on runner (building it on
+// first use), converting a panic inside the event loop into a recorded
+// error so one corrupted replication cannot take down the batch. The
+// returned runner is nil after a panic: a state that panicked mid-event
+// holds unknown invariant damage and must not be reused.
+func runReplication(ctx context.Context, n *netmodel.Network, cfg Config, rep int, runner *Runner) (rr Replication, reuse *Runner) {
 	rr.Rep = rep
 	rr.Seed = rng.SubSeed(cfg.Seed, uint64(rep))
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			rr.Err = fmt.Errorf("sim: replication %d not started: %w", rep, err)
-			return rr
+			return rr, runner
 		}
 	}
+	// On panic, reuse keeps its nil zero value: the corrupted runner is
+	// dropped and the worker builds a fresh one for its next replication.
 	defer func() {
 		if p := recover(); p != nil {
 			rr.Result = nil
 			rr.Err = fmt.Errorf("sim: replication %d panicked: %v", rep, p)
 		}
 	}()
-	c := cfg
-	c.Seed = rr.Seed
-	rr.Result, rr.Err = Run(n, c)
-	return rr
+	if runner == nil {
+		var err error
+		runner, err = NewRunner(n, cfg)
+		if err != nil {
+			rr.Err = err
+			return rr, nil
+		}
+	}
+	rr.Result, rr.Err = runner.Run(rr.Seed)
+	return rr, runner
 }

@@ -113,7 +113,10 @@ func TestReplicationsAllFailed(t *testing.T) {
 // and converted into that replication's recorded error. A nil network
 // makes the event machinery blow up deterministically.
 func TestReplicationPanicRecovery(t *testing.T) {
-	rr := runReplication(context.Background(), nil, Config{Duration: 100}, 2)
+	rr, reuse := runReplication(context.Background(), nil, Config{Duration: 100}, 2, nil)
+	if reuse != nil {
+		t.Fatal("panicked replication returned a runner for reuse")
+	}
 	if rr.Err == nil {
 		t.Fatal("panicking replication reported no error")
 	}

@@ -1,16 +1,22 @@
 package sim
 
-// event is a scheduled simulation event.
+// event is a scheduled simulation event. The struct is deliberately free
+// of pointers — in-flight messages are referenced by pool index — so that
+// scheduler moves take no GC write barriers and a queued backlog of
+// events keeps nothing else alive.
 type event struct {
-	at   float64 // simulated time, seconds
-	seq  uint64  // tie-break: FIFO among simultaneous events
-	kind eventKind
-	// class is the class index for arrival events; channel the channel
-	// index for completion events; msg the in-flight message for
-	// propagation arrivals.
-	class   int
-	channel int
-	msg     *message
+	at  float64 // simulated time, seconds
+	seq uint64  // tie-break: FIFO among simultaneous events
+	// channel is the channel index for completion events (the fault-
+	// transition index for evFault, and the arrival epoch for evArrival);
+	// msg the message pool index for propagation arrivals (msgNone
+	// otherwise); class the class index for arrival events. class is
+	// int16 to keep the struct at 32 bytes — scheduler throughput is
+	// bounded by event copies, and no model here approaches 32k classes.
+	channel int32
+	msg     int32
+	class   int16
+	kind    eventKind
 }
 
 type eventKind uint8
@@ -25,21 +31,59 @@ const (
 	evFault                       // a scheduled fault transition fires (fault.go)
 )
 
-// eventQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap
+// eventLess is the scheduler ordering contract: events are served in
+// strictly increasing (at, seq) order. seq is assigned by the queue at
+// push time, so simultaneous events pop in FIFO push order. Every
+// eventQueue implementation must realise exactly this total order — the
+// property tests in scheduler_test.go compare pop sequences across
+// implementations the way denseref_test.go guards the sparse AMVA.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is the scheduler seam. Two interchangeable implementations
+// exist: heapQueue, the preserved binary min-heap reference, and
+// calendarQueue, the bucketed O(1)-amortised default. Both must produce
+// identical pop sequences for identical push sequences; the simulator's
+// outputs are therefore bit-identical under either (scheduler_test.go).
+type eventQueue interface {
+	push(at float64, kind eventKind, class, channel int)
+	pushMsg(at float64, kind eventKind, class, channel int, msg int32)
+	pop() event
+	empty() bool
+	// reset discards all events and restarts the seq counter, retaining
+	// internal capacity so a reused runner schedules without allocating.
+	reset()
+}
+
+// newEventQueue builds the scheduler cfg selects.
+func newEventQueue(kind Scheduler) eventQueue {
+	if kind == SchedulerHeap {
+		return &heapQueue{}
+	}
+	return newCalendarQueue()
+}
+
+// heapQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap
 // (rather than container/heap) keeps the hot push/pop path free of
-// interface conversions; the simulator spends most of its time here.
-type eventQueue struct {
+// interface conversions. It is retained as the reference implementation
+// behind -scheduler heap: simple enough to trust by inspection, and the
+// oracle the calendar queue is property-tested against.
+type heapQueue struct {
 	items []event
 	seq   uint64
 }
 
-func (q *eventQueue) push(at float64, kind eventKind, class, channel int) {
-	q.pushMsg(at, kind, class, channel, nil)
+func (q *heapQueue) push(at float64, kind eventKind, class, channel int) {
+	q.pushMsg(at, kind, class, channel, msgNone)
 }
 
-func (q *eventQueue) pushMsg(at float64, kind eventKind, class, channel int, m *message) {
+func (q *heapQueue) pushMsg(at float64, kind eventKind, class, channel int, msg int32) {
 	q.seq++
-	e := event{at: at, seq: q.seq, kind: kind, class: class, channel: channel, msg: m}
+	e := event{at: at, seq: q.seq, kind: kind, class: int16(class), channel: int32(channel), msg: msg}
 	q.items = append(q.items, e)
 	i := len(q.items) - 1
 	for i > 0 {
@@ -52,17 +96,18 @@ func (q *eventQueue) pushMsg(at float64, kind eventKind, class, channel int, m *
 	}
 }
 
-func (q *eventQueue) less(i, j int) bool {
-	a, b := &q.items[i], &q.items[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+func (q *heapQueue) less(i, j int) bool {
+	return eventLess(&q.items[i], &q.items[j])
 }
 
-func (q *eventQueue) empty() bool { return len(q.items) == 0 }
+func (q *heapQueue) empty() bool { return len(q.items) == 0 }
 
-func (q *eventQueue) pop() event {
+func (q *heapQueue) reset() {
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
+func (q *heapQueue) pop() event {
 	top := q.items[0]
 	last := len(q.items) - 1
 	q.items[0] = q.items[last]

@@ -5,73 +5,94 @@ import (
 	"testing/quick"
 )
 
+// eachQueue runs a subtest against every eventQueue implementation; the
+// basic ordering properties below must hold for all of them.
+func eachQueue(t *testing.T, body func(t *testing.T, q eventQueue)) {
+	t.Helper()
+	impls := []struct {
+		name string
+		mk   func() eventQueue
+	}{
+		{"heap", func() eventQueue { return &heapQueue{} }},
+		{"calendar", func() eventQueue { return newCalendarQueue() }},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) { body(t, impl.mk()) })
+	}
+}
+
 func TestEventQueueOrdering(t *testing.T) {
-	var q eventQueue
-	times := []float64{5, 1, 3, 2, 4}
-	for _, at := range times {
-		q.push(at, evArrival, 0, -1)
-	}
-	prev := -1.0
-	for !q.empty() {
-		e := q.pop()
-		if e.at < prev {
-			t.Fatalf("heap disorder: %v after %v", e.at, prev)
-		}
-		prev = e.at
-	}
-}
-
-func TestEventQueueFIFOTieBreak(t *testing.T) {
-	var q eventQueue
-	for class := 0; class < 10; class++ {
-		q.push(1.0, evArrival, class, -1)
-	}
-	for class := 0; class < 10; class++ {
-		e := q.pop()
-		if e.class != class {
-			t.Fatalf("simultaneous events reordered: got class %d at position %d", e.class, class)
-		}
-	}
-}
-
-func TestEventQueueInterleaved(t *testing.T) {
-	var q eventQueue
-	q.push(2, evCompletion, -1, 0)
-	q.push(1, evArrival, 0, -1)
-	e := q.pop()
-	if e.kind != evArrival {
-		t.Fatal("wrong first event")
-	}
-	q.push(0.5, evAck, 1, -1)
-	e = q.pop()
-	if e.kind != evAck {
-		t.Fatal("wrong second event")
-	}
-	e = q.pop()
-	if e.kind != evCompletion || !q.empty() {
-		t.Fatal("wrong final event")
-	}
-}
-
-// Property: popping returns events in nondecreasing time order for any
-// insertion sequence.
-func TestEventQueueProperty(t *testing.T) {
-	f := func(raw []uint16) bool {
-		var q eventQueue
-		for _, r := range raw {
-			q.push(float64(r), evArrival, 0, -1)
+	eachQueue(t, func(t *testing.T, q eventQueue) {
+		times := []float64{5, 1, 3, 2, 4}
+		for _, at := range times {
+			q.push(at, evArrival, 0, -1)
 		}
 		prev := -1.0
 		for !q.empty() {
 			e := q.pop()
 			if e.at < prev {
-				return false
+				t.Fatalf("disorder: %v after %v", e.at, prev)
 			}
 			prev = e.at
 		}
-		return true
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
+	})
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	eachQueue(t, func(t *testing.T, q eventQueue) {
+		for class := 0; class < 10; class++ {
+			q.push(1.0, evArrival, class, -1)
+		}
+		for class := 0; class < 10; class++ {
+			e := q.pop()
+			if e.class != int16(class) {
+				t.Fatalf("simultaneous events reordered: got class %d at position %d", e.class, class)
+			}
+		}
+	})
+}
+
+func TestEventQueueInterleaved(t *testing.T) {
+	eachQueue(t, func(t *testing.T, q eventQueue) {
+		q.push(2, evCompletion, -1, 0)
+		q.push(1, evArrival, 0, -1)
+		e := q.pop()
+		if e.kind != evArrival {
+			t.Fatal("wrong first event")
+		}
+		q.push(0.5, evAck, 1, -1)
+		e = q.pop()
+		if e.kind != evAck {
+			t.Fatal("wrong second event")
+		}
+		e = q.pop()
+		if e.kind != evCompletion || !q.empty() {
+			t.Fatal("wrong final event")
+		}
+	})
+}
+
+// Property: popping returns events in nondecreasing time order for any
+// insertion sequence, on either implementation.
+func TestEventQueueProperty(t *testing.T) {
+	eachQueue(t, func(t *testing.T, q eventQueue) {
+		f := func(raw []uint16) bool {
+			q.reset()
+			for _, r := range raw {
+				q.push(float64(r), evArrival, 0, -1)
+			}
+			prev := -1.0
+			for !q.empty() {
+				e := q.pop()
+				if e.at < prev {
+					return false
+				}
+				prev = e.at
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
 }

@@ -178,10 +178,11 @@ type faultTransition struct {
 	ending bool
 }
 
-// scheduleFaults books every fault transition as an evFault event. Called
-// once at run start; the event's channel field carries the index into
-// s.faults.
-func (s *state) scheduleFaults(f *FaultSpec) {
+// buildFaults compiles the spec into the sorted transition schedule
+// s.faults. Called once from newState; prime() books the transitions as
+// evFault events at the start of every replication (the event's channel
+// field carries the index into s.faults).
+func (s *state) buildFaults(f *FaultSpec) {
 	for _, o := range f.Outages {
 		s.faults = append(s.faults,
 			faultTransition{at: o.Start, target: o.Channel, op: opLinkDown},
@@ -203,9 +204,6 @@ func (s *state) scheduleFaults(f *FaultSpec) {
 		}
 		return s.faults[i].ending && !s.faults[j].ending
 	})
-	for i := range s.faults {
-		s.events.push(s.faults[i].at, evFault, -1, i)
-	}
 }
 
 // handleFault applies transition idx. Link-up restarts the channel if work
@@ -223,8 +221,11 @@ func (s *state) handleFault(idx int) {
 		s.startNextIfAny(f.target)
 	case opRateSet:
 		s.rateScale[f.target] = f.scale
+		s.svcInv[f.target] = 1 / (s.net.Channels[f.target].Capacity * f.scale)
 	case opSurgeSet:
 		s.classRateScale[f.target] = f.scale
+		s.arrMean[f.target] = 1 / (s.net.Classes[f.target].Rate * f.scale)
+		s.arrMeanBurst[f.target] = s.arrMean[f.target] / s.cfg.Burstiness
 		cs := &s.classes[f.target]
 		cs.arrivalEpoch++
 		cs.arrivalPending = false

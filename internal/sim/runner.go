@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"repro/internal/netmodel"
+	"repro/internal/numeric"
+)
+
+// Runner is a reusable simulation engine for one (network, config) pair.
+// NewRunner validates once and builds the routing/channel/class tables
+// once; each Run(seed) then re-arms the mutable state in place and
+// executes a replication without rebuilding anything — the simulator
+// counterpart of core.Engine's pooled per-candidate states. A Runner is
+// not safe for concurrent use; RunReplications gives each worker its own.
+type Runner struct {
+	n       *netmodel.Network
+	cfg     Config
+	windows numeric.IntVector
+	st      *state
+}
+
+// NewRunner validates (n, cfg) and builds the immutable tables. The
+// cfg.Seed field is ignored by Run(seed); it only seeds the initial
+// armed state.
+func NewRunner(n *netmodel.Network, cfg Config) (*Runner, error) {
+	cfg, windows, err := prepare(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st, err := newState(n, cfg, windows)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{n: n, cfg: cfg, windows: windows, st: st}, nil
+}
+
+// Run executes one replication under seed. Results are bit-identical to
+// sim.Run with the same config and seed — the replication-reset
+// invariant scheduler_test.go pins down.
+func (ru *Runner) Run(seed uint64) (*Result, error) {
+	ru.st.reset(seed)
+	return ru.st.run()
+}

@@ -57,6 +57,43 @@ func (s SourceModel) String() string {
 	}
 }
 
+// Scheduler selects the event-queue implementation. Both realise the
+// identical (at, seq) total order, so every simulator output is
+// bit-identical under either; the choice only affects speed.
+type Scheduler int
+
+const (
+	// SchedulerCalendar is the default: a calendar queue with
+	// O(1)-amortised push/pop (calendar.go).
+	SchedulerCalendar Scheduler = iota
+	// SchedulerHeap is the preserved binary min-heap reference
+	// implementation (engine.go).
+	SchedulerHeap
+)
+
+func (sc Scheduler) String() string {
+	switch sc {
+	case SchedulerCalendar:
+		return "calendar"
+	case SchedulerHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(sc))
+	}
+}
+
+// ParseScheduler maps the -scheduler flag spelling to a Scheduler.
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "calendar", "":
+		return SchedulerCalendar, nil
+	case "heap":
+		return SchedulerHeap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler %q (want calendar or heap)", name)
+	}
+}
+
 // Config parameterises a simulation run.
 type Config struct {
 	// Windows overrides the classes' Window fields; nil uses them.
@@ -111,6 +148,11 @@ type Config struct {
 	// simulated times (see FaultSpec). Faults are deterministic: the
 	// same spec and seed reproduce the same run.
 	Faults *FaultSpec
+	// Scheduler selects the event-queue implementation (default
+	// SchedulerCalendar). Outputs are bit-identical under either; the
+	// heap is kept as the property-test oracle and a -scheduler heap
+	// escape hatch.
+	Scheduler Scheduler
 }
 
 // ClassStats reports one class's measurements.
@@ -162,34 +204,53 @@ type Result struct {
 	Deadlocked bool
 	// Clock is the simulated end time.
 	Clock float64
+	// Events counts executed simulation events (scheduling overhead
+	// metric; paperbench divides wall time by it for ns/event).
+	Events int64
 }
 
 // Run simulates the network. The network is validated first; Config
 // errors are reported before any event executes.
 func Run(n *netmodel.Network, cfg Config) (*Result, error) {
-	if err := n.Validate(); err != nil {
+	cfg, windows, err := prepare(n, cfg)
+	if err != nil {
 		return nil, err
 	}
+	s, err := newState(n, cfg, windows)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// prepare validates the network and config and resolves defaults,
+// returning the normalised config and per-class windows. Run and
+// NewRunner share it so a reusable runner rejects exactly what a one-shot
+// run would.
+func prepare(n *netmodel.Network, cfg Config) (Config, numeric.IntVector, error) {
+	if err := n.Validate(); err != nil {
+		return cfg, nil, err
+	}
 	if cfg.Duration <= 0 {
-		return nil, errors.New("sim: Duration must be positive")
+		return cfg, nil, errors.New("sim: Duration must be positive")
 	}
 	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
-		return nil, fmt.Errorf("sim: Warmup %v outside [0, Duration)", cfg.Warmup)
+		return cfg, nil, fmt.Errorf("sim: Warmup %v outside [0, Duration)", cfg.Warmup)
 	}
 	windows := cfg.Windows
 	if windows == nil {
 		windows = n.Windows()
 	}
 	if len(windows) != len(n.Classes) {
-		return nil, fmt.Errorf("sim: %d windows for %d classes", len(windows), len(n.Classes))
+		return cfg, nil, fmt.Errorf("sim: %d windows for %d classes", len(windows), len(n.Classes))
 	}
 	for r, w := range windows {
 		if w < 0 {
-			return nil, fmt.Errorf("sim: negative window %d for class %d", w, r)
+			return cfg, nil, fmt.Errorf("sim: negative window %d for class %d", w, r)
 		}
 	}
 	if cfg.NodeBuffers != nil && len(cfg.NodeBuffers) != len(n.Nodes) {
-		return nil, fmt.Errorf("sim: %d node buffers for %d nodes", len(cfg.NodeBuffers), len(n.Nodes))
+		return cfg, nil, fmt.Errorf("sim: %d node buffers for %d nodes", len(cfg.NodeBuffers), len(n.Nodes))
 	}
 	if cfg.NodeBuffers != nil {
 		finite := false
@@ -202,42 +263,41 @@ func Run(n *netmodel.Network, cfg Config) (*Result, error) {
 		if finite {
 			for l := range n.Channels {
 				if n.Channels[l].PropDelay > 0 {
-					return nil, fmt.Errorf("sim: finite node buffers cannot be combined with propagation delay (channel %s): an in-flight message has no upstream store to block into", n.Channels[l].Name)
+					return cfg, nil, fmt.Errorf("sim: finite node buffers cannot be combined with propagation delay (channel %s): an in-flight message has no upstream store to block into", n.Channels[l].Name)
 				}
 			}
 		}
 	}
 	if cfg.GlobalPermits < 0 {
-		return nil, errors.New("sim: negative GlobalPermits")
+		return cfg, nil, errors.New("sim: negative GlobalPermits")
 	}
 	if cfg.Batches == 0 {
 		cfg.Batches = 20
 	}
 	if cfg.Batches < 2 {
-		return nil, errors.New("sim: Batches must be at least 2")
+		return cfg, nil, errors.New("sim: Batches must be at least 2")
 	}
 	if cfg.LengthCV < 0 || math.IsNaN(cfg.LengthCV) || math.IsInf(cfg.LengthCV, 0) {
-		return nil, fmt.Errorf("sim: LengthCV %v; need a non-negative finite value", cfg.LengthCV)
+		return cfg, nil, fmt.Errorf("sim: LengthCV %v; need a non-negative finite value", cfg.LengthCV)
 	}
 	if cfg.Burstiness != 0 && (cfg.Burstiness < 1 || math.IsNaN(cfg.Burstiness) || math.IsInf(cfg.Burstiness, 0)) {
-		return nil, fmt.Errorf("sim: Burstiness %v; need 0 (off) or a finite value >= 1", cfg.Burstiness)
+		return cfg, nil, fmt.Errorf("sim: Burstiness %v; need 0 (off) or a finite value >= 1", cfg.Burstiness)
 	}
 	if cfg.BurstOn < 0 || math.IsNaN(cfg.BurstOn) || math.IsInf(cfg.BurstOn, 0) {
-		return nil, fmt.Errorf("sim: BurstOn %v; need non-negative finite seconds", cfg.BurstOn)
+		return cfg, nil, fmt.Errorf("sim: BurstOn %v; need non-negative finite seconds", cfg.BurstOn)
 	}
 	if cfg.Burstiness > 1 && cfg.BurstOn == 0 {
 		cfg.BurstOn = 1
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.validate(len(n.Channels), len(n.Classes)); err != nil {
-			return nil, err
+			return cfg, nil, err
 		}
 	}
-	s, err := newState(n, cfg, windows)
-	if err != nil {
-		return nil, err
+	if cfg.Scheduler != SchedulerCalendar && cfg.Scheduler != SchedulerHeap {
+		return cfg, nil, fmt.Errorf("sim: unknown Scheduler %d", int(cfg.Scheduler))
 	}
-	return s.run()
+	return cfg, windows, nil
 }
 
 // resultFinish derives the aggregate fields once per-class stats are in.

@@ -9,15 +9,27 @@ import (
 	"repro/internal/rng"
 )
 
-// message is one store-and-forward message in flight.
+// message is one store-and-forward message in flight. Messages live in
+// the state's pool slab (state.msgs) and are referenced by slab index
+// everywhere — channel queues, blocked slots, scheduled events — so the
+// hot structures carry no pointers and the steady-state event loop
+// allocates nothing.
+//
+// Pool ownership: a message is taken from the free list at admission
+// (admit) or background injection (handleBackground) and returned exactly
+// once, by whichever path removes it from the network — delivery
+// (deliver, reached from the final-hop completion or the final-hop
+// propagation landing) or the background single-hop exit in
+// handleCompletion. Messages parked in queues, blocked slots or in-flight
+// propagation at the end of a run are reclaimed wholesale by reset.
 type message struct {
-	class int
+	class int32
 	// hop indexes the class's route: the channel the message is queued
 	// on or transmitting over. After the final hop the message is
 	// delivered.
-	hop int
+	hop int32
 	// node is the switching node currently storing the message.
-	node int
+	node int32
 	// length is the message length in bits when CorrelatedLengths is
 	// set; unused otherwise.
 	length float64
@@ -25,15 +37,51 @@ type message struct {
 	admitted float64
 }
 
+// msgNone marks an empty message reference (no message).
+const msgNone = int32(-1)
+
 // channelState is the runtime state of one half-duplex channel queue.
+// The FIFO is a power-of-two ring of pool indices: popping the head is an
+// index bump, not a memmove.
 type channelState struct {
-	queue []*message // FIFO; queue[0] is in service when busy
-	busy  bool
-	// blockedMsg, when non-nil, finished transmission but cannot enter
-	// its downstream node (full buffer); the channel is stalled.
-	blockedMsg *message
+	q    []int32 // ring storage; len is a power of two (or 0)
+	head int
+	n    int
+	busy bool
+	// blockedMsg, when not msgNone, finished transmission but cannot
+	// enter its downstream node (full buffer); the channel is stalled.
+	blockedMsg int32
 	// blockedInto is the node the blocked message waits for.
 	blockedInto int
+}
+
+func (ch *channelState) pushBack(m int32) {
+	if ch.n == len(ch.q) {
+		grown := make([]int32, max(4, 2*len(ch.q)))
+		for i := 0; i < ch.n; i++ {
+			grown[i] = ch.q[(ch.head+i)&(len(ch.q)-1)]
+		}
+		ch.q = grown
+		ch.head = 0
+	}
+	ch.q[(ch.head+ch.n)&(len(ch.q)-1)] = m
+	ch.n++
+}
+
+func (ch *channelState) front() int32 { return ch.q[ch.head] }
+
+func (ch *channelState) popFront() {
+	ch.head = (ch.head + 1) & (len(ch.q) - 1)
+	ch.n--
+}
+
+// stored is the number of messages the channel holds (queued, in service
+// and blocked) — the quantity ChannelMeanQueue integrates.
+func (ch *channelState) stored() int {
+	if ch.blockedMsg != msgNone {
+		return ch.n + 1
+	}
+	return ch.n
 }
 
 // classState is the runtime state of one class's source.
@@ -43,8 +91,8 @@ type classState struct {
 	backlog        int  // host-side backlog (SourceBacklogged)
 	arrivalPending bool // an evArrival event is scheduled
 	// arrivalEpoch invalidates stale arrival events after a burst state
-	// flip (the heap cannot cancel, so events carry the epoch they were
-	// booked under).
+	// flip (the scheduler cannot cancel, so events carry the epoch they
+	// were booked under).
 	arrivalEpoch int
 	// burstOn is the on-off source state (always true for Poisson).
 	burstOn bool
@@ -59,15 +107,33 @@ type classState struct {
 	bursts           *rng.Stream
 }
 
+// state is the runner's working set. newState builds every table that
+// depends only on (network, config) ONCE; reset re-arms the mutable parts
+// for a fresh seed without reallocating, mirroring core.Engine's pooled
+// per-candidate states. The division matters: RunReplications reuses one
+// state per worker across hundreds of replications.
 type state struct {
 	net *netmodel.Network
 	cfg Config
 
+	windows numeric.IntVector // resolved per-class windows
+
 	clock  float64
 	events eventQueue
+	// calQ aliases events when the calendar scheduler is selected. The
+	// hot path branches on it to call the concrete type directly —
+	// interface dispatch on three calls per event is measurable at this
+	// loop's throughput. The heap keeps the interface path; it is the
+	// reference implementation, not the fast one.
+	calQ *calendarQueue
 
 	classes  []classState
 	channels []channelState
+
+	// Message pool: msgs is the slab, freeMsgs the LIFO free list of slab
+	// indices. reset truncates both, reclaiming every in-flight message.
+	msgs     []message
+	freeMsgs []int32
 
 	// nodeCount[i] is the number of messages stored at node i;
 	// nodeLimit[i] <= 0 means infinite.
@@ -99,40 +165,81 @@ type state struct {
 	// starting new transmissions; rateScale[l] multiplies its capacity
 	// for transmissions started now; classRateScale[r] multiplies class
 	// r's exogenous arrival rate (traffic surges); faults is the
-	// transition schedule.
+	// transition schedule (built once, sorted, re-pushed every reset).
 	chanDown       []bool
 	rateScale      []float64
 	classRateScale []float64
 	faults         []faultTransition
 
+	// Precomputed inverse rates for the hot sampling sites. Divisions
+	// are ~10x a multiply on this class of hardware and the loop draws
+	// two or three variates per event, so every per-draw division is
+	// hoisted to the (rare) moment its rate actually changes: reset,
+	// and the fault transitions that scale a rate.
+	svcInv       []float64 // per channel: 1/(Capacity*rateScale)
+	arrMean      []float64 // per class: 1/(Rate*classRateScale)
+	arrMeanBurst []float64 // per class: arrMean/Burstiness (on-period peak)
+	bgMean       []float64 // per channel: 1/bgRate (0 if no background)
+	burstOnMean  float64   // mean on-period
+	burstOffMean float64   // mean off-period
+
+	// Static per-entity lookups flattened out of the netmodel structs:
+	// the hot handlers index these compact arrays instead of striding the
+	// wide model structs (a cache line per touch there). Built once in
+	// newState; never change mid-run.
+	meanLen   []float64 // per class: mean message length
+	ackDelay  []float64 // per class: acknowledgement latency
+	propDelay []float64 // per channel: propagation delay
+	chanFrom  []int32   // per channel: endpoint nodes
+	chanTo    []int32
+
+	warmupDone bool
+	eventCount int64
+
 	stats *collector
 }
 
+// newState builds the per-configuration tables and leaves the state armed
+// for cfg.Seed (reset re-arms it for any other seed).
 func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*state, error) {
-	master := rng.New(cfg.Seed)
 	s := &state{
-		net:       n,
-		cfg:       cfg,
-		classes:   make([]classState, len(n.Classes)),
-		channels:  make([]channelState, len(n.Channels)),
-		nodeCount: make([]int, len(n.Nodes)),
-		inNet:     make([]int, len(n.Classes)),
-		nodeLimit: make([]int, len(n.Nodes)),
-		blockedOn: make([][]int, len(n.Nodes)),
-		permits:        -1,
+		net:            n,
+		cfg:            cfg,
+		windows:        windows,
+		events:         newEventQueue(cfg.Scheduler),
+		classes:        make([]classState, len(n.Classes)),
+		channels:       make([]channelState, len(n.Channels)),
+		nodeCount:      make([]int, len(n.Nodes)),
+		inNet:          make([]int, len(n.Classes)),
+		nodeLimit:      make([]int, len(n.Nodes)),
+		blockedOn:      make([][]int, len(n.Nodes)),
 		chanDown:       make([]bool, len(n.Channels)),
 		rateScale:      make([]float64, len(n.Channels)),
 		classRateScale: make([]float64, len(n.Classes)),
+		svcInv:         make([]float64, len(n.Channels)),
+		arrMean:        make([]float64, len(n.Classes)),
+		arrMeanBurst:   make([]float64, len(n.Classes)),
+		bgMean:         make([]float64, len(n.Channels)),
+		meanLen:        make([]float64, len(n.Classes)),
+		ackDelay:       make([]float64, len(n.Classes)),
+		propDelay:      make([]float64, len(n.Channels)),
+		chanFrom:       make([]int32, len(n.Channels)),
+		chanTo:         make([]int32, len(n.Channels)),
 	}
-	for l := range s.rateScale {
-		s.rateScale[l] = 1
+	for r := range n.Classes {
+		s.meanLen[r] = n.Classes[r].MeanLength
+		s.ackDelay[r] = n.Classes[r].AckDelay
 	}
-	for r := range s.classRateScale {
-		s.classRateScale[r] = 1
+	for l := range n.Channels {
+		s.propDelay[l] = n.Channels[l].PropDelay
+		s.chanFrom[l] = int32(n.Channels[l].From)
+		s.chanTo[l] = int32(n.Channels[l].To)
 	}
-	if cfg.GlobalPermits > 0 {
-		s.permits = cfg.GlobalPermits
+	if cfg.Burstiness > 1 {
+		s.burstOnMean = cfg.BurstOn
+		s.burstOffMean = cfg.BurstOn * (cfg.Burstiness - 1)
 	}
+	s.calQ, _ = s.events.(*calendarQueue)
 	if cfg.NodeBuffers != nil {
 		copy(s.nodeLimit, cfg.NodeBuffers)
 	}
@@ -143,18 +250,16 @@ func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*stat
 		}
 		cs := &s.classes[r]
 		cs.window = windows[r]
-		cs.credits = windows[r]
 		cs.srcNode = nodes[0]
 		cs.sinkNode = nodes[len(nodes)-1]
 		cs.route = n.Classes[r].Route
-		cs.arrivals = master.Split(uint64(2 * r))
-		cs.lengths = master.Split(uint64(2*r + 1))
-		cs.bursts = master.Split(uint64(9000 + r))
-		cs.burstOn = true
+		cs.arrivals = &rng.Stream{}
+		cs.lengths = &rng.Stream{}
+		cs.bursts = &rng.Stream{}
 	}
 	s.serviceStreams = make([]*rng.Stream, len(n.Channels))
 	for l := range n.Channels {
-		s.serviceStreams[l] = master.Split(uint64(1000 + l))
+		s.serviceStreams[l] = &rng.Stream{}
 	}
 	s.bgRate = make([]float64, len(n.Channels))
 	s.bgMeanLen = make([]float64, len(n.Channels))
@@ -178,74 +283,243 @@ func newState(n *netmodel.Network, cfg Config, windows numeric.IntVector) (*stat
 		}
 		s.bgMeanLen[l] = meanLen
 		s.bgRate[l] = bg * n.Channels[l].Capacity / meanLen
-		s.bgStreams[l] = master.Split(uint64(5000 + l))
+		s.bgMean[l] = 1 / s.bgRate[l]
+		s.bgStreams[l] = &rng.Stream{}
+	}
+	if cfg.Faults != nil {
+		s.buildFaults(cfg.Faults)
 	}
 	s.stats = newCollector(n, cfg)
+	s.reset(cfg.Seed)
 	return s, nil
 }
 
+// reset re-arms the state for a fresh replication under seed: every
+// stream is re-derived in place, every counter zeroed, every pooled
+// buffer truncated with its capacity retained. After reset, run()
+// produces exactly what a freshly built state with the same seed would —
+// the replication-reset invariant scheduler_test.go pins down.
+func (s *state) reset(seed uint64) {
+	s.clock = 0
+	s.warmupDone = false
+	s.eventCount = 0
+	s.events.reset()
+	var master rng.Stream
+	master.Reseed(seed)
+	for r := range s.classes {
+		cs := &s.classes[r]
+		cs.credits = s.windows[r]
+		cs.backlog = 0
+		cs.arrivalPending = false
+		cs.arrivalEpoch = 0
+		cs.burstOn = true
+		cs.waitingAdmission = 0
+		master.SplitInto(uint64(2*r), cs.arrivals)
+		master.SplitInto(uint64(2*r+1), cs.lengths)
+		master.SplitInto(uint64(9000+r), cs.bursts)
+	}
+	for l := range s.channels {
+		ch := &s.channels[l]
+		ch.head, ch.n = 0, 0
+		ch.busy = false
+		ch.blockedMsg = msgNone
+		master.SplitInto(uint64(1000+l), s.serviceStreams[l])
+		if s.bgStreams[l] != nil {
+			master.SplitInto(uint64(5000+l), s.bgStreams[l])
+		}
+		s.chanDown[l] = false
+		s.rateScale[l] = 1
+		s.svcInv[l] = 1 / s.net.Channels[l].Capacity
+	}
+	for r := range s.classRateScale {
+		s.classRateScale[r] = 1
+		s.inNet[r] = 0
+		s.arrMean[r] = 1 / s.net.Classes[r].Rate
+		s.arrMeanBurst[r] = s.arrMean[r] / s.cfg.Burstiness
+	}
+	for i := range s.nodeCount {
+		s.nodeCount[i] = 0
+		s.blockedOn[i] = s.blockedOn[i][:0]
+	}
+	s.admissionWait = s.admissionWait[:0]
+	s.permits = -1
+	if s.cfg.GlobalPermits > 0 {
+		s.permits = s.cfg.GlobalPermits
+	}
+	s.msgs = s.msgs[:0]
+	s.freeMsgs = s.freeMsgs[:0]
+	s.stats.reset(0, s)
+}
+
+// newMessage takes a message slot from the pool (LIFO), growing the slab
+// only when the in-flight population reaches a new high-water mark.
+func (s *state) newMessage() int32 {
+	if n := len(s.freeMsgs); n > 0 {
+		mi := s.freeMsgs[n-1]
+		s.freeMsgs = s.freeMsgs[:n-1]
+		return mi
+	}
+	s.msgs = append(s.msgs, message{})
+	return int32(len(s.msgs) - 1)
+}
+
+// freeMessage returns a slot to the pool. Call sites are exactly the
+// network-exit paths; see the message doc comment for the ownership map.
+func (s *state) freeMessage(mi int32) {
+	s.freeMsgs = append(s.freeMsgs, mi)
+}
+
+// qPush, qPushMsg, qPop and qEmpty dispatch to the scheduler, calling
+// the calendar queue concretely when it is selected (see the calQ field).
+func (s *state) qPush(at float64, kind eventKind, class, channel int) {
+	if q := s.calQ; q != nil {
+		q.pushMsg(at, kind, class, channel, msgNone)
+		return
+	}
+	s.events.push(at, kind, class, channel)
+}
+
+func (s *state) qPushMsg(at float64, kind eventKind, class, channel int, msg int32) {
+	if q := s.calQ; q != nil {
+		q.pushMsg(at, kind, class, channel, msg)
+		return
+	}
+	s.events.pushMsg(at, kind, class, channel, msg)
+}
+
+func (s *state) qPop() event {
+	if q := s.calQ; q != nil {
+		return q.pop()
+	}
+	return s.events.pop()
+}
+
+func (s *state) qEmpty() bool {
+	if q := s.calQ; q != nil {
+		return q.size == 0
+	}
+	return s.events.empty()
+}
+
 func (s *state) run() (*Result, error) {
-	// Prime each class's arrival process, burst modulation and the
-	// background streams.
+	s.prime()
+	// The calendar loop pops from the concrete queue and dispatches
+	// inline: routing each event through qPop/dispatch costs two wrapper
+	// calls and two extra 32-byte event copies, which is real money at
+	// this loop's frequency. The switch below mirrors dispatch — the two
+	// must stay in lockstep, which the heap/calendar bit-identity tests
+	// enforce (the heap path runs the generic spelling).
+	if q := s.calQ; q != nil {
+		duration, warmup := s.cfg.Duration, s.cfg.Warmup
+		for q.size != 0 {
+			e := q.pop()
+			if e.at > duration {
+				break
+			}
+			if !s.warmupDone && e.at >= warmup {
+				s.stats.reset(warmup, s)
+				s.warmupDone = true
+			}
+			if e.at > s.clock {
+				s.clock = e.at
+			}
+			s.eventCount++
+			switch e.kind {
+			case evArrival:
+				s.handleArrival(int(e.class), int(e.channel))
+			case evCompletion:
+				s.handleCompletion(int(e.channel))
+			case evAck:
+				s.creditReturn(int(e.class))
+			case evBackground:
+				s.handleBackground(int(e.channel))
+			case evPropArrive:
+				s.handlePropArrive(e.msg)
+			case evBurstFlip:
+				s.handleBurstFlip(int(e.class))
+			case evFault:
+				s.handleFault(int(e.channel))
+			}
+		}
+	} else {
+		for !s.events.empty() && s.dispatch(s.events.pop()) {
+		}
+	}
+	return s.finishRun(), nil
+}
+
+// prime books each class's arrival process, burst modulation, the
+// background streams and the fault schedule.
+func (s *state) prime() {
 	for r := range s.classes {
 		if s.cfg.Burstiness > 1 {
-			s.events.push(s.clock+s.classes[r].bursts.Exp(1/s.cfg.BurstOn), evBurstFlip, r, 0)
+			s.qPush(s.clock+s.classes[r].bursts.ExpMean(s.burstOnMean), evBurstFlip, r, 0)
 		}
 		s.scheduleArrival(r)
 	}
 	for l := range s.bgRate {
 		if s.bgRate[l] > 0 {
-			s.events.push(s.clock+s.bgStreams[l].Exp(s.bgRate[l]), evBackground, -1, l)
+			s.qPush(s.clock+s.bgStreams[l].ExpMean(s.bgMean[l]), evBackground, -1, l)
 		}
 	}
-	if s.cfg.Faults != nil {
-		s.scheduleFaults(s.cfg.Faults)
+	for i := range s.faults {
+		s.qPush(s.faults[i].at, evFault, -1, i)
 	}
-	warmupDone := false
-	for !s.events.empty() {
-		e := s.events.pop()
-		if e.at > s.cfg.Duration {
-			break
-		}
-		if !warmupDone && e.at >= s.cfg.Warmup {
-			s.stats.reset(s.cfg.Warmup, s)
-			warmupDone = true
-		}
-		s.advance(e.at)
-		switch e.kind {
-		case evArrival:
-			s.handleArrival(e.class, e.channel)
-		case evCompletion:
-			s.handleCompletion(e.channel)
-		case evAck:
-			s.creditReturn(e.class)
-		case evBackground:
-			s.handleBackground(e.channel)
-		case evPropArrive:
-			s.handlePropArrive(e.msg)
-		case evBurstFlip:
-			s.handleBurstFlip(e.class)
-		case evFault:
-			s.handleFault(e.channel)
-		}
+}
+
+// step executes one event; false means the run is over (horizon reached
+// or no events left). The run loop inlines this pop-then-dispatch pair
+// per scheduler; step remains as the single-step form tests drive.
+func (s *state) step() bool {
+	if s.qEmpty() {
+		return false
 	}
-	if !warmupDone {
+	return s.dispatch(s.qPop())
+}
+
+// dispatch executes one popped event; false means the horizon is reached
+// (the event is beyond Duration and is discarded unexecuted).
+func (s *state) dispatch(e event) bool {
+	if e.at > s.cfg.Duration {
+		return false
+	}
+	if !s.warmupDone && e.at >= s.cfg.Warmup {
 		s.stats.reset(s.cfg.Warmup, s)
+		s.warmupDone = true
 	}
-	s.advance(s.cfg.Duration)
+	if e.at > s.clock {
+		s.clock = e.at
+	}
+	s.eventCount++
+	switch e.kind {
+	case evArrival:
+		s.handleArrival(int(e.class), int(e.channel))
+	case evCompletion:
+		s.handleCompletion(int(e.channel))
+	case evAck:
+		s.creditReturn(int(e.class))
+	case evBackground:
+		s.handleBackground(int(e.channel))
+	case evPropArrive:
+		s.handlePropArrive(e.msg)
+	case evBurstFlip:
+		s.handleBurstFlip(int(e.class))
+	case evFault:
+		s.handleFault(int(e.channel))
+	}
+	return true
+}
+
+func (s *state) finishRun() *Result {
+	if !s.warmupDone {
+		s.stats.reset(s.cfg.Warmup, s)
+		s.warmupDone = true
+	}
 	s.clock = s.cfg.Duration
 	res := s.stats.result(s)
 	res.Deadlocked = s.isDeadlocked()
-	return res, nil
-}
-
-// advance moves the clock, accumulating time-weighted statistics.
-func (s *state) advance(to float64) {
-	if to < s.clock {
-		to = s.clock
-	}
-	s.stats.accumulate(s, to-s.clock)
-	s.clock = to
+	res.Events = s.eventCount
+	return res
 }
 
 // scheduleArrival books the next exogenous message of class r if the
@@ -265,12 +539,12 @@ func (s *state) scheduleArrival(r int) {
 			return
 		}
 	}
-	rate := s.net.Classes[r].Rate * s.classRateScale[r]
+	mean := s.arrMean[r]
 	if s.cfg.Burstiness > 1 {
-		rate *= s.cfg.Burstiness // peak rate during on-periods
+		mean = s.arrMeanBurst[r] // peak rate during on-periods
 	}
 	cs.arrivalPending = true
-	s.events.push(s.clock+cs.arrivals.Exp(rate), evArrival, r, cs.arrivalEpoch)
+	s.qPush(s.clock+cs.arrivals.ExpMean(mean), evArrival, r, cs.arrivalEpoch)
 }
 
 // handleBurstFlip toggles class r's on-off source state and books the
@@ -283,12 +557,12 @@ func (s *state) handleBurstFlip(r int) {
 	cs.arrivalPending = false
 	var mean float64
 	if cs.burstOn {
-		mean = s.cfg.BurstOn
+		mean = s.burstOnMean
 		s.scheduleArrival(r)
 	} else {
-		mean = s.cfg.BurstOn * (s.cfg.Burstiness - 1)
+		mean = s.burstOffMean
 	}
-	s.events.push(s.clock+cs.bursts.Exp(1/mean), evBurstFlip, r, 0)
+	s.qPush(s.clock+cs.bursts.ExpMean(mean), evBurstFlip, r, 0)
 }
 
 // handleArrival processes one exogenous message of class r. epoch guards
@@ -302,6 +576,7 @@ func (s *state) handleArrival(r, epoch int) {
 	s.stats.generated(r)
 	switch s.cfg.Source {
 	case SourceBacklogged:
+		s.stats.touchClass(s, r)
 		cs.backlog++
 		s.drainBacklog(r)
 		s.scheduleArrival(r)
@@ -317,6 +592,9 @@ func (s *state) handleArrival(r, epoch int) {
 // drainBacklog admits backlogged messages while credits are available.
 func (s *state) drainBacklog(r int) {
 	cs := &s.classes[r]
+	if cs.backlog > 0 {
+		s.stats.touchClass(s, r)
+	}
 	for cs.backlog > 0 && (cs.window == 0 || cs.credits > 0) {
 		if cs.window > 0 {
 			cs.credits--
@@ -357,20 +635,25 @@ func (s *state) admit(r int) {
 	if s.permits > 0 {
 		s.permits--
 	}
-	m := &message{class: r, hop: 0, node: cs.srcNode, admitted: s.clock}
+	mi := s.newMessage()
+	m := &s.msgs[mi]
+	*m = message{class: int32(r), hop: 0, node: int32(cs.srcNode), admitted: s.clock}
+	s.stats.touchClass(s, r)
 	s.inNet[r]++
 	if s.cfg.CorrelatedLengths {
-		m.length = s.sampleLength(cs.lengths, s.net.Classes[r].MeanLength)
+		m.length = s.sampleLength(cs.lengths, s.meanLen[r])
 	}
+	s.stats.touchNode(s, cs.srcNode)
 	s.nodeCount[cs.srcNode]++
-	s.enqueue(m, cs.route[0])
+	s.enqueue(mi, cs.route[0])
 }
 
-// enqueue places m on channel l's FIFO and starts service if idle.
-func (s *state) enqueue(m *message, l int) {
+// enqueue places mi on channel l's FIFO and starts service if idle.
+func (s *state) enqueue(mi int32, l int) {
 	ch := &s.channels[l]
-	ch.queue = append(ch.queue, m)
-	if !ch.busy && ch.blockedMsg == nil && !s.chanDown[l] {
+	s.stats.touchChan(s, l)
+	ch.pushBack(mi)
+	if !ch.busy && ch.blockedMsg == msgNone && !s.chanDown[l] {
 		s.startService(l)
 	}
 }
@@ -378,7 +661,7 @@ func (s *state) enqueue(m *message, l int) {
 // startService begins transmitting channel l's head message.
 func (s *state) startService(l int) {
 	ch := &s.channels[l]
-	m := ch.queue[0]
+	m := &s.msgs[ch.front()]
 	var bits float64
 	switch {
 	case s.cfg.CorrelatedLengths:
@@ -386,54 +669,62 @@ func (s *state) startService(l int) {
 	case m.class < 0:
 		bits = s.sampleLength(s.serviceStreams[l], s.bgMeanLen[l])
 	default:
-		bits = s.sampleLength(s.serviceStreams[l], s.net.Classes[m.class].MeanLength)
+		bits = s.sampleLength(s.serviceStreams[l], s.meanLen[m.class])
 	}
+	s.stats.touchChan(s, l)
 	ch.busy = true
-	s.events.push(s.clock+bits/(s.net.Channels[l].Capacity*s.rateScale[l]), evCompletion, -1, l)
+	s.qPush(s.clock+bits*s.svcInv[l], evCompletion, -1, l)
 }
 
 // handleBackground injects one uncontrolled cross-traffic message on
-// channel l and books the next.
+// channel l and books the next. Background pseudo-messages ride the same
+// pool as real messages: their slot returns at the single-hop exit in
+// handleCompletion.
 func (s *state) handleBackground(l int) {
-	m := &message{class: -1, hop: -1, node: -1}
+	mi := s.newMessage()
+	m := &s.msgs[mi]
+	*m = message{class: -1, hop: -1, node: -1}
 	if s.cfg.CorrelatedLengths {
 		m.length = s.sampleLength(s.bgStreams[l], s.bgMeanLen[l])
 	}
-	s.enqueue(m, l)
-	s.events.push(s.clock+s.bgStreams[l].Exp(s.bgRate[l]), evBackground, -1, l)
+	s.enqueue(mi, l)
+	s.qPush(s.clock+s.bgStreams[l].ExpMean(s.bgMean[l]), evBackground, -1, l)
 }
 
 // handleCompletion finishes the transmission in progress on channel l.
 func (s *state) handleCompletion(l int) {
 	ch := &s.channels[l]
+	s.stats.touchChan(s, l)
 	ch.busy = false
-	m := ch.queue[0]
+	mi := ch.front()
+	m := &s.msgs[mi]
 	if m.class < 0 {
 		// Background message: leaves the system at the far end.
 		s.popHead(l)
+		s.freeMessage(mi)
 		s.startNextIfAny(l)
 		return
 	}
-	dest := s.otherEnd(l, m.node)
-	if pd := s.net.Channels[l].PropDelay; pd > 0 {
+	dest := s.otherEnd(l, int(m.node))
+	if pd := s.propDelay[l]; pd > 0 {
 		// The message has left the upstream store and is in flight; it
 		// occupies no node until it lands (Validate forbids combining
 		// propagation delay with finite buffers, so landing never
 		// blocks).
 		s.popHead(l)
-		s.releaseNode(m.node)
-		m.node = dest
-		s.events.pushMsg(s.clock+pd, evPropArrive, m.class, l, m)
+		s.releaseNode(int(m.node))
+		m.node = int32(dest)
+		s.qPushMsg(s.clock+pd, evPropArrive, int(m.class), l, mi)
 		s.startNextIfAny(l)
 		return
 	}
 	cs := &s.classes[m.class]
-	lastHop := m.hop == len(cs.route)-1
+	lastHop := int(m.hop) == len(cs.route)-1
 	if lastHop {
 		// Delivery: the message leaves the network at the sink host.
 		s.popHead(l)
-		s.releaseNode(m.node)
-		s.deliver(m)
+		s.releaseNode(int(m.node))
+		s.deliver(mi)
 		s.startNextIfAny(l)
 		return
 	}
@@ -442,72 +733,80 @@ func (s *state) handleCompletion(l int) {
 		// Local flow control: the downstream node is full; the message
 		// stays, stalling the channel (store-and-forward blocking).
 		s.popHead(l)
-		ch.blockedMsg = m
+		ch.blockedMsg = mi
 		ch.blockedInto = dest
 		s.blockedOn[dest] = append(s.blockedOn[dest], l)
 		return
 	}
 	s.popHead(l)
-	s.moveToNode(m, dest, next)
+	s.moveToNode(mi, dest, next)
 	s.startNextIfAny(l)
 }
 
 // handlePropArrive lands an in-flight message at m.node: delivery on the
 // final hop, otherwise the next channel's queue.
-func (s *state) handlePropArrive(m *message) {
+func (s *state) handlePropArrive(mi int32) {
+	m := &s.msgs[mi]
 	cs := &s.classes[m.class]
-	if m.hop == len(cs.route)-1 {
-		s.deliver(m)
+	if int(m.hop) == len(cs.route)-1 {
+		s.deliver(mi)
 		return
 	}
+	s.stats.touchNode(s, int(m.node))
 	s.nodeCount[m.node]++
 	m.hop++
-	s.enqueue(m, cs.route[m.hop])
+	s.enqueue(mi, cs.route[m.hop])
 }
 
-// popHead removes channel l's head message.
+// popHead removes channel l's head message. Every call site sits in
+// handleCompletion after its touchChan at the same clock, so the stored
+// count's integral is already folded to now and no touch is needed here.
 func (s *state) popHead(l int) {
-	ch := &s.channels[l]
-	copy(ch.queue, ch.queue[1:])
-	ch.queue = ch.queue[:len(ch.queue)-1]
+	s.channels[l].popFront()
 }
 
 // startNextIfAny restarts channel l if messages wait and it is not
 // stalled on a blocked message or a link outage.
 func (s *state) startNextIfAny(l int) {
 	ch := &s.channels[l]
-	if ch.blockedMsg == nil && !ch.busy && !s.chanDown[l] && len(ch.queue) > 0 {
+	if ch.blockedMsg == msgNone && !ch.busy && !s.chanDown[l] && ch.n > 0 {
 		s.startService(l)
 	}
 }
 
-// moveToNode advances m to node dest and queues it on its next channel.
-func (s *state) moveToNode(m *message, dest, nextChannel int) {
-	s.releaseNode(m.node)
+// moveToNode advances mi to node dest and queues it on its next channel.
+func (s *state) moveToNode(mi int32, dest, nextChannel int) {
+	m := &s.msgs[mi]
+	s.releaseNode(int(m.node))
+	s.stats.touchNode(s, dest)
 	s.nodeCount[dest]++
-	m.node = dest
+	m.node = int32(dest)
 	m.hop++
-	s.enqueue(m, nextChannel)
+	s.enqueue(mi, nextChannel)
 }
 
-// deliver completes m: statistics, isarithmic permit, and the window
-// credit (immediately when acknowledgements are instantaneous, after the
-// class's AckDelay otherwise). The acknowledgement latency is modelled as
-// a deterministic delay; the analytic model uses an exponential IS
-// station of the same mean, and by BCMP insensitivity the two agree —
-// a property the simulator tests exploit.
-func (s *state) deliver(m *message) {
-	s.inNet[m.class]--
-	s.stats.delivered(m.class, s.clock-m.admitted, s.clock)
+// deliver completes mi: statistics, pool return, isarithmic permit, and
+// the window credit (immediately when acknowledgements are instantaneous,
+// after the class's AckDelay otherwise). The acknowledgement latency is
+// modelled as a deterministic delay; the analytic model uses an
+// exponential IS station of the same mean, and by BCMP insensitivity the
+// two agree — a property the simulator tests exploit.
+func (s *state) deliver(mi int32) {
+	m := &s.msgs[mi]
+	r := int(m.class)
+	s.stats.touchClass(s, r)
+	s.inNet[r]--
+	s.stats.delivered(r, s.clock-m.admitted, s.clock)
+	s.freeMessage(mi)
 	if s.permits >= 0 {
 		s.permits++
-		s.retryAdmissions()
+		s.retryAdmissions(-1)
 	}
-	if ack := s.net.Classes[m.class].AckDelay; ack > 0 && s.classes[m.class].window > 0 {
-		s.events.push(s.clock+ack, evAck, m.class, -1)
+	if ack := s.ackDelay[r]; ack > 0 && s.classes[r].window > 0 {
+		s.qPush(s.clock+ack, evAck, r, -1)
 		return
 	}
-	s.creditReturn(m.class)
+	s.creditReturn(r)
 }
 
 // creditReturn hands a window credit back to class r's source and wakes
@@ -527,9 +826,10 @@ func (s *state) creditReturn(r int) {
 
 // releaseNode decrements a node's occupancy and unblocks waiters.
 func (s *state) releaseNode(node int) {
+	s.stats.touchNode(s, node)
 	s.nodeCount[node]--
 	s.unblockInto(node)
-	s.retryAdmissionsAt(node)
+	s.retryAdmissions(node)
 }
 
 // unblockInto lets the first channel blocked into node proceed if space
@@ -542,32 +842,26 @@ func (s *state) unblockInto(node int) {
 		l := s.blockedOn[node][0]
 		s.blockedOn[node] = s.blockedOn[node][1:]
 		ch := &s.channels[l]
-		m := ch.blockedMsg
-		ch.blockedMsg = nil
+		mi := ch.blockedMsg
+		s.stats.touchChan(s, l)
+		ch.blockedMsg = msgNone
+		m := &s.msgs[mi]
 		cs := &s.classes[m.class]
-		s.moveToNode(m, node, cs.route[m.hop+1])
+		s.moveToNode(mi, node, cs.route[m.hop+1])
 		s.startNextIfAny(l)
 	}
 }
 
-// retryAdmissions retries every queued admission (used on permit
+// retryAdmissions retries queued admissions: every one when node < 0
+// (permit release), otherwise only classes whose source is node (buffer
 // release).
-func (s *state) retryAdmissions() {
-	s.retryAdmissionsFiltered(func(int) bool { return true })
-}
-
-// retryAdmissionsAt retries queued admissions whose source is node.
-func (s *state) retryAdmissionsAt(node int) {
-	s.retryAdmissionsFiltered(func(r int) bool { return s.classes[r].srcNode == node })
-}
-
-func (s *state) retryAdmissionsFiltered(match func(r int) bool) {
+func (s *state) retryAdmissions(node int) {
 	if len(s.admissionWait) == 0 {
 		return
 	}
 	remaining := s.admissionWait[:0]
 	for _, r := range s.admissionWait {
-		if match(r) && s.admissionResourcesFree(r) {
+		if (node < 0 || s.classes[r].srcNode == node) && s.admissionResourcesFree(r) {
 			s.classes[r].waitingAdmission--
 			s.admit(r)
 			if s.cfg.Source == SourceThrottled {
@@ -587,7 +881,7 @@ func (s *state) sampleLength(stream *rng.Stream, mean float64) float64 {
 	cv := s.cfg.LengthCV
 	switch {
 	case cv == 0 || cv == 1:
-		return stream.Exp(1 / mean)
+		return stream.ExpMean(mean)
 	case cv < 0.02:
 		return mean
 	case cv < 1:
@@ -599,9 +893,9 @@ func (s *state) sampleLength(stream *rng.Stream, mean float64) float64 {
 			k = 64
 		}
 		sum := 0.0
-		rate := float64(k) / mean
+		phaseMean := mean / float64(k)
 		for i := 0; i < k; i++ {
-			sum += stream.Exp(rate)
+			sum += stream.ExpMean(phaseMean)
 		}
 		return sum
 	default:
@@ -615,17 +909,16 @@ func (s *state) sampleLength(stream *rng.Stream, mean float64) float64 {
 		} else {
 			p = 1 - p1
 		}
-		return stream.Exp(2 * p / mean)
+		return stream.ExpMean(mean / (2 * p))
 	}
 }
 
 // otherEnd returns the endpoint of channel l opposite node.
 func (s *state) otherEnd(l, node int) int {
-	ch := &s.net.Channels[l]
-	if ch.From == node {
-		return ch.To
+	if int(s.chanFrom[l]) == node {
+		return int(s.chanTo[l])
 	}
-	return ch.From
+	return int(s.chanFrom[l])
 }
 
 // isDeadlocked reports whether messages remain in the network while every
@@ -642,7 +935,7 @@ func (s *state) isDeadlocked() bool {
 		if s.channels[l].busy {
 			return false
 		}
-		if s.channels[l].blockedMsg == nil && len(s.channels[l].queue) > 0 {
+		if s.channels[l].blockedMsg == msgNone && s.channels[l].n > 0 {
 			return false
 		}
 	}
@@ -655,12 +948,13 @@ func (s *state) sanity() error {
 	total := 0
 	for l := range s.channels {
 		ch := &s.channels[l]
-		for _, m := range ch.queue {
-			if m.class >= 0 {
+		for i := 0; i < ch.n; i++ {
+			mi := ch.q[(ch.head+i)&(len(ch.q)-1)]
+			if s.msgs[mi].class >= 0 {
 				total++
 			}
 		}
-		if ch.blockedMsg != nil {
+		if ch.blockedMsg != msgNone {
 			total++
 		}
 	}

@@ -7,41 +7,61 @@ import (
 
 // collector accumulates time-weighted and per-delivery statistics,
 // excluding the warmup period.
+//
+// Integration is change-driven: instead of folding every quantity on
+// every event (O(channels + classes + nodes) per event, the old hot
+// spot), each quantity carries its own last-fold time and is folded only
+// when it is about to change — the touch* methods, called at every
+// mutation site in state.go BEFORE the mutation. A fold over an interval
+// where the quantity was constant is exact, so deferring it to the next
+// change (or to result/reset, which flush everything) loses nothing.
 type collector struct {
 	cfg   Config
 	since float64 // measurement start (warmup end once reset)
 
-	// Time integrals.
-	chanBusy  []float64 // per channel: busy-time integral
-	chanQueue []float64 // per channel: stored-message integral
-	inNet     []float64 // per class: in-network count integral
-	backlog   []float64 // per class: backlog integral
+	// Time integrals. Each accumulator struct bundles a quantity's
+	// integrals with its last-fold time, so one touch loads one
+	// contiguous struct instead of striding three parallel slices (three
+	// cache lines on the old layout, measurably slower per event).
+	chans   []chanAccum
+	classes []classAccum
+	nodes   []nodeAccum
 
 	generatedN []int64
 	deliveredN []int64
 	delaySum   []float64
 	delays     [][]float64 // per class, per delivery (for batch means)
+}
 
-	// nodeOcc[i][k] is the time node i spent holding k messages
-	// (k capped at occCap-1; the last bucket collects the overflow).
-	nodeOcc [][]float64
+type chanAccum struct {
+	busy  float64 // busy-time integral
+	queue float64 // stored-message integral
+	last  float64 // time folded up to
+}
+
+type classAccum struct {
+	inNet   float64 // in-network count integral
+	backlog float64 // backlog integral
+	last    float64
+}
+
+// nodeAccum carries the occupancy histogram inline: occ[k] is the time
+// the node spent holding k messages (k capped at occCap-1; the last
+// bucket collects the overflow).
+type nodeAccum struct {
+	last float64
+	occ  [occCap]float64
 }
 
 // occCap bounds the node-occupancy histograms.
 const occCap = 512
 
 func newCollector(n *netmodel.Network, cfg Config) *collector {
-	nodeOcc := make([][]float64, len(n.Nodes))
-	for i := range nodeOcc {
-		nodeOcc[i] = make([]float64, occCap)
-	}
 	return &collector{
-		nodeOcc:    nodeOcc,
 		cfg:        cfg,
-		chanBusy:   make([]float64, len(n.Channels)),
-		chanQueue:  make([]float64, len(n.Channels)),
-		inNet:      make([]float64, len(n.Classes)),
-		backlog:    make([]float64, len(n.Classes)),
+		chans:      make([]chanAccum, len(n.Channels)),
+		classes:    make([]classAccum, len(n.Classes)),
+		nodes:      make([]nodeAccum, len(n.Nodes)),
 		generatedN: make([]int64, len(n.Classes)),
 		deliveredN: make([]int64, len(n.Classes)),
 		delaySum:   make([]float64, len(n.Classes)),
@@ -49,59 +69,90 @@ func newCollector(n *netmodel.Network, cfg Config) *collector {
 	}
 }
 
-// reset zeroes all accumulators at the end of warmup.
+// reset zeroes all accumulators and restarts every integral at time at
+// (the warmup boundary, or 0 when a reused runner re-arms). Delay sample
+// slices keep their capacity so a reused collector records without
+// allocating.
 func (c *collector) reset(at float64, s *state) {
 	c.since = at
-	for i := range c.chanBusy {
-		c.chanBusy[i] = 0
-		c.chanQueue[i] = 0
+	for l := range c.chans {
+		c.chans[l] = chanAccum{last: at}
 	}
-	for r := range c.inNet {
-		c.inNet[r] = 0
-		c.backlog[r] = 0
+	for r := range c.classes {
+		c.classes[r] = classAccum{last: at}
 		c.generatedN[r] = 0
 		c.deliveredN[r] = 0
 		c.delaySum[r] = 0
-		c.delays[r] = nil
+		c.delays[r] = c.delays[r][:0]
 	}
-	for i := range c.nodeOcc {
-		for k := range c.nodeOcc[i] {
-			c.nodeOcc[i][k] = 0
-		}
+	for i := range c.nodes {
+		c.nodes[i] = nodeAccum{last: at}
 	}
 }
 
-// accumulate folds dt seconds of the current state into the integrals.
-func (c *collector) accumulate(s *state, dt float64) {
-	if dt <= 0 {
-		return
-	}
-	for l := range s.channels {
+// touchChan folds channel l's integrals up to the current clock. Call
+// before mutating the channel's busy flag or stored count. A fold over
+// an empty interval (dt == 0, common when several mutations share one
+// event) is skipped but still advances nothing, so touching defensively
+// is free.
+func (c *collector) touchChan(s *state, l int) {
+	a := &c.chans[l]
+	dt := s.clock - a.last
+	if dt > 0 {
 		ch := &s.channels[l]
 		if ch.busy {
-			c.chanBusy[l] += dt
+			a.busy += dt
 		}
-		stored := len(ch.queue)
-		if ch.blockedMsg != nil {
-			stored++
-		}
-		c.chanQueue[l] += float64(stored) * dt
+		a.queue += float64(ch.stored()) * dt
 	}
-	for r := range s.classes {
-		c.inNet[r] += float64(s.inNet[r]) * dt
-		c.backlog[r] += float64(s.classes[r].backlog) * dt
+	a.last = s.clock
+}
+
+// touchClass folds class r's in-network and backlog integrals up to the
+// current clock. Call before mutating inNet[r] or the class backlog.
+func (c *collector) touchClass(s *state, r int) {
+	a := &c.classes[r]
+	dt := s.clock - a.last
+	if dt > 0 {
+		a.inNet += float64(s.inNet[r]) * dt
+		a.backlog += float64(s.classes[r].backlog) * dt
 	}
-	for i, count := range s.nodeCount {
+	a.last = s.clock
+}
+
+// touchNode folds node i's occupancy histogram up to the current clock.
+// Call before mutating nodeCount[i].
+func (c *collector) touchNode(s *state, i int) {
+	a := &c.nodes[i]
+	dt := s.clock - a.last
+	if dt > 0 {
+		count := s.nodeCount[i]
 		if count >= occCap {
 			count = occCap - 1
 		}
-		c.nodeOcc[i][count] += dt
+		a.occ[count] += dt
+	}
+	a.last = s.clock
+}
+
+// flush folds every integral up to the current clock; reset and result
+// call it so deferral is invisible at the boundaries.
+func (c *collector) flush(s *state) {
+	for l := range c.chans {
+		c.touchChan(s, l)
+	}
+	for r := range c.classes {
+		c.touchClass(s, r)
+	}
+	for i := range c.nodes {
+		c.touchNode(s, i)
 	}
 }
 
 func (c *collector) generated(r int) { c.generatedN[r]++ }
 
 func (c *collector) delivered(r int, delay, at float64) {
+	_ = at
 	c.deliveredN[r]++
 	c.delaySum[r] += delay
 	c.delays[r] = append(c.delays[r], delay)
@@ -109,6 +160,7 @@ func (c *collector) delivered(r int, delay, at float64) {
 
 // result assembles the final Result at the end of the run.
 func (c *collector) result(s *state) *Result {
+	c.flush(s)
 	horizon := s.clock - c.since
 	if horizon <= 0 {
 		horizon = 1e-12
@@ -120,21 +172,21 @@ func (c *collector) result(s *state) *Result {
 		Clock:              s.clock,
 	}
 	for l := range s.channels {
-		res.ChannelUtilization[l] = c.chanBusy[l] / horizon
-		res.ChannelMeanQueue[l] = c.chanQueue[l] / horizon
+		res.ChannelUtilization[l] = c.chans[l].busy / horizon
+		res.ChannelMeanQueue[l] = c.chans[l].queue / horizon
 	}
-	res.NodeOccupancy = make([][]float64, len(c.nodeOcc))
-	for i := range c.nodeOcc {
+	res.NodeOccupancy = make([][]float64, len(c.nodes))
+	for i := range c.nodes {
 		// Trim trailing zeros to keep the result compact.
 		last := 0
-		for k, v := range c.nodeOcc[i] {
+		for k, v := range c.nodes[i].occ {
 			if v > 0 {
 				last = k
 			}
 		}
 		h := make([]float64, last+1)
 		for k := 0; k <= last; k++ {
-			h[k] = c.nodeOcc[i][k] / horizon
+			h[k] = c.nodes[i].occ[k] / horizon
 		}
 		res.NodeOccupancy[i] = h
 	}
@@ -143,8 +195,8 @@ func (c *collector) result(s *state) *Result {
 		cs.Offered = float64(c.generatedN[r]) / horizon
 		cs.Delivered = c.deliveredN[r]
 		cs.Throughput = float64(c.deliveredN[r]) / horizon
-		cs.MeanInNetwork = c.inNet[r] / horizon
-		cs.MeanBacklog = c.backlog[r] / horizon
+		cs.MeanInNetwork = c.classes[r].inNet / horizon
+		cs.MeanBacklog = c.classes[r].backlog / horizon
 		if c.deliveredN[r] > 0 {
 			cs.MeanDelay = c.delaySum[r] / float64(c.deliveredN[r])
 		}
